@@ -1,0 +1,53 @@
+"""Figure 12: sensitivity of LearnRisk to the amount of risk-training data.
+
+Panels (a)/(b): risk-training pairs drawn by random sampling (1 %–20 % of the
+workload) on DS and AB.  Panels (c)/(d): risk-training pairs selected actively
+(most ambiguous classifier outputs first, 100–400 pairs).  Shape to hold: the
+AUROC is remarkably stable across the whole range — LearnRisk can be trained
+from a small number of (well chosen) labeled pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.experiment import run_sensitivity_experiment
+from repro.evaluation.reporting import format_series
+
+from conftest import write_result
+
+RANDOM_FRACTIONS = (0.01, 0.05, 0.10, 0.15, 0.20)
+ACTIVE_COUNTS = (100, 200, 300, 400)
+SETTINGS = {
+    ("DS", "random"): RANDOM_FRACTIONS,
+    ("AB", "random"): RANDOM_FRACTIONS,
+    ("DS", "active"): ACTIVE_COUNTS,
+    ("AB", "active"): ACTIVE_COUNTS,
+}
+
+
+@pytest.mark.parametrize("dataset,selection", sorted(SETTINGS), ids=lambda value: str(value))
+def test_figure12_sensitivity(benchmark, prepared_cache, dataset, selection):
+    sizes = SETTINGS[(dataset, selection)]
+
+    def run():
+        return run_sensitivity_experiment(
+            prepared_cache.workload(dataset),
+            risk_training_sizes=list(sizes),
+            selection=selection,
+            seed=4,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    output = format_series(
+        f"Figure 12 — {dataset} ({selection} selection of risk-training data)",
+        results, value_name="AUROC",
+    )
+    write_result(f"figure12_{dataset}_{selection}", output)
+    benchmark.extra_info.update({str(size): round(value, 4) for size, value in results.items()})
+
+    values = np.array(list(results.values()))
+    # Shape: high and stable across the sweep.
+    assert values.min() > 0.75
+    assert values.max() - values.min() < 0.15

@@ -1,0 +1,61 @@
+"""Figure 13: scalability of rule generation and of risk-model training.
+
+Panel (a): wall-clock time of risk-feature (rule) generation as the size of the
+rule-generation training data grows.  Panel (b): wall-clock time of LearnRisk
+training as the amount of risk-training data grows.  Shape to hold: both grow
+roughly linearly with the data size (the paper reports minutes on the full
+benchmarks; the synthetic analogues complete in seconds, but the trend is the
+reproducible claim).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.experiment import run_scalability_experiment
+from repro.evaluation.reporting import format_series
+
+from conftest import write_result
+
+
+def _roughly_non_decreasing(series: dict[int, float], tolerance: float = 0.5) -> bool:
+    """True when the runtime trend is upward (allowing small timer noise)."""
+    values = list(series.values())
+    return all(later >= earlier * (1.0 - tolerance) for earlier, later in zip(values, values[1:]))
+
+
+def test_figure13_scalability(benchmark, prepared_cache):
+    workload = prepared_cache.workload("DS")
+    n_train = int(len(workload) * 0.3)
+    training_sizes = [max(50, int(n_train * fraction)) for fraction in (0.25, 0.5, 0.75, 1.0)]
+    n_validation = int(len(workload) * 0.2)
+    risk_sizes = [max(40, int(n_validation * fraction)) for fraction in (0.25, 0.5, 0.75, 1.0)]
+
+    def run():
+        return run_scalability_experiment(
+            workload, training_sizes=training_sizes, risk_training_sizes=risk_sizes, seed=5,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rule_output = format_series(
+        "Figure 13a — rule-generation runtime (seconds) vs training size",
+        results["rule_generation"], value_name="seconds",
+    )
+    training_output = format_series(
+        "Figure 13b — risk-model training runtime (seconds) vs risk-training size",
+        results["risk_training"], value_name="seconds",
+    )
+    write_result("figure13_scalability", rule_output + "\n\n" + training_output)
+    benchmark.extra_info["rule_generation"] = {
+        str(size): round(value, 3) for size, value in results["rule_generation"].items()
+    }
+    benchmark.extra_info["risk_training"] = {
+        str(size): round(value, 3) for size, value in results["risk_training"].items()
+    }
+
+    assert all(value > 0 for value in results["rule_generation"].values())
+    assert _roughly_non_decreasing(results["rule_generation"])
+    # Rule generation on the largest size should not explode super-linearly:
+    sizes = np.array(list(results["rule_generation"]))
+    times = np.array(list(results["rule_generation"].values()))
+    assert times[-1] <= times[0] * (sizes[-1] / sizes[0]) * 3.0

@@ -1,0 +1,42 @@
+"""Table 2: statistics of the benchmark workloads.
+
+Regenerates the dataset-statistics table (size, number of matches, number of
+attributes) for the four primary workloads.  The absolute sizes are the
+scaled-down synthetic analogues; the shape to check is the relative ordering
+(SG largest, AB most imbalanced, attribute counts 4/3/4/7) — see
+``tests/data/test_datasets.py`` for the assertions guarding that shape.
+"""
+
+from __future__ import annotations
+
+from repro.data.datasets import PRIMARY_DATASETS, load_dataset
+from repro.evaluation.reporting import format_table
+
+from conftest import write_result
+
+
+def _generate_rows(scale: float) -> list[list[object]]:
+    rows = []
+    for name in PRIMARY_DATASETS:
+        workload = load_dataset(name, scale=scale)
+        stats = workload.statistics()
+        rows.append([
+            name, stats["size"], stats["matches"], stats["attributes"],
+            round((stats["size"] - stats["matches"]) / max(1, stats["matches"]), 1),
+        ])
+    return rows
+
+
+def test_table2_dataset_statistics(benchmark, scale):
+    rows = benchmark.pedantic(_generate_rows, args=(scale,), rounds=1, iterations=1)
+    table = format_table(
+        ["dataset", "size", "#matches", "#attributes", "neg:pos"], rows
+    )
+    output = f"Table 2 (scale={scale}) — workload statistics\n{table}"
+    write_result("table2_datasets", output)
+    benchmark.extra_info["rows"] = [[str(cell) for cell in row] for row in rows]
+    # Shape checks mirroring the paper's Table 2.
+    sizes = {row[0]: row[1] for row in rows}
+    assert sizes["SG"] == max(sizes.values())
+    attribute_counts = {row[0]: row[3] for row in rows}
+    assert attribute_counts == {"DS": 4, "AB": 3, "AG": 4, "SG": 7}

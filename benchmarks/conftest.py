@@ -1,0 +1,75 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation (Section 7 / Section 8).  Because the workloads are synthetic
+analogues running on a laptop-scale simulator rather than the authors'
+testbed, the absolute numbers differ from the paper; the *shape* of each
+result (which method wins, by roughly what margin, how curves trend) is what
+the benchmarks check and report.
+
+Configuration
+-------------
+``REPRO_BENCH_SCALE``
+    Universe-size multiplier for the generated workloads (default 0.5).  Use
+    1.0 or larger for results closer to the paper's workload sizes.
+
+Every benchmark appends its result rows to ``benchmarks/results/<name>.txt``
+and stores them in the pytest-benchmark ``extra_info`` so they are persisted
+alongside the timing data.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.data import load_dataset
+from repro.evaluation.experiment import PreparedExperiment, prepare_experiment
+
+RESULTS_DIRECTORY = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    """The workload scale used across the benchmark suite."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+def write_result(name: str, content: str) -> Path:
+    """Persist a benchmark's textual result table under ``benchmarks/results``."""
+    RESULTS_DIRECTORY.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIRECTORY / f"{name}.txt"
+    path.write_text(content + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+class _PreparedCache:
+    """Builds and memoises prepared experiments per (dataset, ratio, seed)."""
+
+    def __init__(self, scale: float) -> None:
+        self.scale = scale
+        self._cache: dict[tuple, PreparedExperiment] = {}
+        self._workloads: dict[str, object] = {}
+
+    def workload(self, dataset: str):
+        if dataset not in self._workloads:
+            self._workloads[dataset] = load_dataset(dataset, scale=self.scale)
+        return self._workloads[dataset]
+
+    def prepared(self, dataset: str, ratio: tuple[int, int, int] = (3, 2, 5),
+                 seed: int = 1) -> PreparedExperiment:
+        key = (dataset, ratio, seed)
+        if key not in self._cache:
+            self._cache[key] = prepare_experiment(self.workload(dataset), ratio=ratio, seed=seed)
+        return self._cache[key]
+
+
+@pytest.fixture(scope="session")
+def prepared_cache(scale: float) -> _PreparedCache:
+    return _PreparedCache(scale)

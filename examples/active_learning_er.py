@@ -1,0 +1,61 @@
+"""Active learning for ER with risk-based instance selection (Section 8, Figure 14).
+
+A matcher starts from a small labeled seed and repeatedly asks an oracle to
+label a batch of pool pairs.  The example compares the classic uncertainty
+strategies (LeastConfidence, Entropy) with selection by LearnRisk's risk score
+and prints the resulting label-efficiency curves (matcher F1 versus number of
+labels).
+
+Run with::
+
+    python examples/active_learning_er.py
+"""
+
+from __future__ import annotations
+
+from repro.active import (
+    EntropyStrategy,
+    LeastConfidenceStrategy,
+    RiskStrategy,
+    run_active_learning_comparison,
+)
+from repro.data import load_dataset
+from repro.evaluation.reporting import format_table
+from repro.risk.training import TrainingConfig
+
+
+def main() -> None:
+    workload = load_dataset("DS", scale=0.4)
+    print(f"pool workload: {len(workload)} candidate pairs "
+          f"({workload.num_matches} matches)")
+
+    strategies = [
+        LeastConfidenceStrategy(),
+        EntropyStrategy(),
+        RiskStrategy(training_config=TrainingConfig(epochs=80)),
+    ]
+    print("running the acquisition loop for each strategy "
+          "(seed 128 labels, batches of 64) ...")
+    results = run_active_learning_comparison(
+        workload, strategies, initial_labeled=128, batch_size=64, rounds=5, seed=6,
+    )
+
+    labeled_sizes = results["LeastConfidence"].labeled_sizes
+    headers = ["#labels", *results.keys()]
+    rows = [
+        [size, *(round(results[name].f1_scores[index], 3) for name in results)]
+        for index, size in enumerate(labeled_sizes)
+    ]
+    print("\nmatcher F1 versus number of labeled pairs:")
+    print(format_table(headers, rows))
+
+    final = {name: curve.final_f1() for name, curve in results.items()}
+    best = max(final, key=final.get)
+    print(f"\nbest final F1: {best} ({final[best]:.3f})")
+    print("LeastConfidence and Entropy overlap (they rank a binary pool identically); "
+          "risk-based selection additionally targets pairs the matcher gets wrong "
+          "*confidently*, which is where extra labels help most.")
+
+
+if __name__ == "__main__":
+    main()

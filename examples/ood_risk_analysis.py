@@ -1,0 +1,59 @@
+"""Out-of-distribution risk analysis: a pre-trained matcher in a new environment.
+
+The paper's Figure 10 scenario: a matcher trained on one workload (the clean
+DBLP-ACM analogue) is applied to a different workload (the dirty DBLP-Scholar
+analogue).  Its accuracy degrades sharply, its confidence becomes misleading,
+and risk analysis is what tells you *which* of its labels to distrust.  The
+example compares the naive confidence-based ranking with LearnRisk and reports
+how many classifier mistakes a human reviewer would catch under a fixed
+inspection budget with each.
+
+Run with::
+
+    python examples/ood_risk_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import AmbiguityBaseline, LearnRiskScorer
+from repro.evaluation import recall_at_budget, run_ood_experiment
+from repro.evaluation.reporting import format_table
+
+
+def main() -> None:
+    print("Training on DBLP-ACM analogue (DA), analysing DBLP-Scholar analogue (DS) ...")
+    result = run_ood_experiment(
+        "DA", "DS", scale=0.4,
+        scorers=[AmbiguityBaseline(), LearnRiskScorer()],
+        seed=2,
+    )
+    print(f"classifier F1 on the new workload: {result.classifier_f1:.3f} "
+          f"(mislabel rate {result.test_mislabel_rate:.1%}) — "
+          "noticeably worse than in-distribution")
+
+    print("\nRisk-ranking quality (AUROC, higher is better):")
+    rows = [[name, method.auroc] for name, method in result.methods.items()]
+    print(format_table(["approach", "AUROC"], rows))
+
+    print("\nMistakes caught under a fixed inspection budget:")
+    baseline = result.methods["Baseline"]
+    learn_risk = result.methods["LearnRisk"]
+    risk_labels = np.asarray(result.risk_labels)
+    n_test = len(baseline.scores)
+    budget_rows = []
+    for fraction in (0.05, 0.10, 0.20):
+        budget = max(1, int(fraction * n_test))
+        budget_rows.append([
+            f"top {fraction:.0%} ({budget} pairs)",
+            recall_at_budget(risk_labels, baseline.scores, budget),
+            recall_at_budget(risk_labels, learn_risk.scores, budget),
+        ])
+    print(format_table(["inspection budget", "confidence ranking", "LearnRisk"], budget_rows))
+    print("\nLearnRisk concentrates the classifier's mistakes at the top of the ranking, "
+          "so a reviewer with a small budget repairs far more of them.")
+
+
+if __name__ == "__main__":
+    main()

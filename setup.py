@@ -1,0 +1,7 @@
+"""Setup shim for environments without the `wheel` package (offline editable installs).
+
+`pip install -e . --no-use-pep517 --no-build-isolation` uses this file directly.
+"""
+from setuptools import setup
+
+setup()

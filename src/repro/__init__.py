@@ -1,0 +1,75 @@
+"""repro: a reproduction of LearnRisk — interpretable and learnable risk analysis for ER.
+
+The package implements the full system of Chen et al., "Towards Interpretable
+and Learnable Risk Analysis for Entity Resolution" (SIGMOD 2020), plus every
+substrate it relies on: synthetic benchmark workloads, similarity/difference
+metrics, ER classifiers, a small autodiff engine, the baselines it is compared
+against and the evaluation harness that regenerates the paper's tables and
+figures.
+
+Quick start::
+
+    from repro import LearnRiskPipeline, load_dataset, split_workload
+
+    workload = load_dataset("DS", scale=0.3)
+    split = split_workload(workload, ratio=(3, 2, 5), seed=0)
+    pipeline = LearnRiskPipeline().fit(split.train, split.validation)
+    report = pipeline.analyse(split.test, explain_top=5)
+    print(report.auroc, report.top_risky(3))
+"""
+
+from .data import (
+    MATCH,
+    UNMATCH,
+    Record,
+    RecordPair,
+    Schema,
+    Table,
+    Workload,
+    load_dataset,
+    split_workload,
+)
+from .evaluation import (
+    auroc_score,
+    run_comparative_experiment,
+    run_holoclean_comparison,
+    run_ood_experiment,
+    run_scalability_experiment,
+    run_sensitivity_experiment,
+)
+from .pipeline import LearnRiskPipeline, RiskReport
+from .risk import (
+    GeneratedRiskFeatures,
+    LearnRiskModel,
+    OneSidedTreeConfig,
+    RiskFeatureGenerator,
+    TrainingConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GeneratedRiskFeatures",
+    "LearnRiskModel",
+    "LearnRiskPipeline",
+    "MATCH",
+    "OneSidedTreeConfig",
+    "Record",
+    "RecordPair",
+    "RiskFeatureGenerator",
+    "RiskReport",
+    "Schema",
+    "Table",
+    "TrainingConfig",
+    "UNMATCH",
+    "Workload",
+    "auroc_score",
+    "load_dataset",
+    "run_comparative_experiment",
+    "run_holoclean_comparison",
+    "run_ood_experiment",
+    "run_scalability_experiment",
+    "run_sensitivity_experiment",
+    "split_workload",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Active learning for ER with risk-based instance selection (Section 8)."""
+
+from .loop import (
+    ActiveLearningLoop,
+    ActiveLearningResult,
+    default_active_classifier,
+    run_active_learning_comparison,
+)
+from .strategies import (
+    EntropyStrategy,
+    LeastConfidenceStrategy,
+    RiskStrategy,
+    SelectionStrategy,
+    available_strategies,
+)
+
+__all__ = [
+    "ActiveLearningLoop",
+    "ActiveLearningResult",
+    "EntropyStrategy",
+    "LeastConfidenceStrategy",
+    "RiskStrategy",
+    "SelectionStrategy",
+    "available_strategies",
+    "default_active_classifier",
+    "run_active_learning_comparison",
+]

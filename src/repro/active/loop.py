@@ -1,0 +1,190 @@
+"""The ER active-learning loop (Section 8, Figure 14).
+
+Starting from a small labeled seed, the loop repeatedly (1) trains the matcher
+on the labeled set, (2) scores the unlabeled pool with a selection strategy,
+(3) labels the top batch (using the ground truth as the oracle) and (4) records
+the matcher's F1 on the held-out test set.  Running the loop with
+LeastConfidence, Entropy and the LearnRisk strategy reproduces the label-
+efficiency comparison of Figure 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..baselines.base import RiskContext
+from ..classifiers.base import BaseClassifier
+from ..classifiers.logistic import LogisticRegressionClassifier
+from ..data.workload import Workload, split_workload
+from ..evaluation.metrics import f1_score
+from ..exceptions import ConfigurationError
+from ..features.vectorizer import PairVectorizer
+from ..risk.feature_generation import RiskFeatureGenerator
+from ..risk.onesided_tree import OneSidedTreeConfig
+from .strategies import SelectionStrategy
+
+
+@dataclass
+class ActiveLearningResult:
+    """The learning curve of one strategy: F1 after each labeling round."""
+
+    strategy: str
+    labeled_sizes: list[int] = field(default_factory=list)
+    f1_scores: list[float] = field(default_factory=list)
+
+    def as_series(self) -> dict[int, float]:
+        """Return ``{labeled size: F1}`` (the Figure 14 series)."""
+        return dict(zip(self.labeled_sizes, self.f1_scores))
+
+    def final_f1(self) -> float:
+        """F1 after the last round."""
+        return self.f1_scores[-1] if self.f1_scores else 0.0
+
+
+def default_active_classifier(seed: int = 0) -> BaseClassifier:
+    """Fast classifier retrained at every round (logistic regression)."""
+    return LogisticRegressionClassifier(epochs=200, seed=seed)
+
+
+class ActiveLearningLoop:
+    """Pool-based active learning for ER.
+
+    Parameters
+    ----------
+    strategy:
+        The instance-selection strategy.
+    classifier_factory:
+        Called every round to create a fresh classifier (retraining from
+        scratch, as in the paper's experiment).
+    initial_labeled:
+        Size of the random seed labeled set (|L| = 128 in the paper).
+    batch_size:
+        Labels acquired per round (64 in the paper).
+    rounds:
+        Number of acquisition rounds.
+    tree_config:
+        Rule-generation configuration for the LearnRisk strategy.
+    seed:
+        Seed for the initial sample and tie-breaking.
+    """
+
+    def __init__(
+        self,
+        strategy: SelectionStrategy,
+        classifier_factory: Callable[[int], BaseClassifier] | None = None,
+        initial_labeled: int = 128,
+        batch_size: int = 64,
+        rounds: int = 8,
+        tree_config: OneSidedTreeConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        if initial_labeled < 2 or batch_size < 1 or rounds < 1:
+            raise ConfigurationError("invalid active-learning sizes")
+        self.strategy = strategy
+        self.classifier_factory = classifier_factory or default_active_classifier
+        self.initial_labeled = initial_labeled
+        self.batch_size = batch_size
+        self.rounds = rounds
+        self.tree_config = tree_config
+        self.seed = seed
+
+    def run(self, workload: Workload, test_fraction: float = 0.4) -> ActiveLearningResult:
+        """Run the loop on a workload; returns the strategy's learning curve."""
+        split = split_workload(
+            workload, ratio=(1.0 - test_fraction, 0.0, test_fraction), seed=self.seed
+        )
+        pool_workload, test_workload = split.train, split.test
+
+        vectorizer = PairVectorizer(workload.left_table.schema)
+        vectorizer.fit_workload(workload)
+        pool_features = vectorizer.transform(pool_workload.pairs)
+        pool_labels = pool_workload.labels()
+        test_features = vectorizer.transform(test_workload.pairs)
+        test_labels = test_workload.labels()
+
+        rng = np.random.default_rng(self.seed)
+        labeled_mask = np.zeros(len(pool_features), dtype=bool)
+        initial = min(self.initial_labeled, len(pool_features))
+        # Seed with a stratified sample so both classes are present from the start.
+        for label in (0, 1):
+            class_indices = np.nonzero(pool_labels == label)[0]
+            take = max(1, int(round(initial * len(class_indices) / len(pool_labels))))
+            take = min(take, len(class_indices))
+            labeled_mask[rng.choice(class_indices, size=take, replace=False)] = True
+
+        result = ActiveLearningResult(strategy=self.strategy.name)
+        for round_index in range(self.rounds + 1):
+            labeled_indices = np.nonzero(labeled_mask)[0]
+            classifier = self.classifier_factory(self.seed + round_index)
+            classifier.fit(pool_features[labeled_indices], pool_labels[labeled_indices])
+            test_predictions = classifier.predict(test_features)
+            result.labeled_sizes.append(int(labeled_mask.sum()))
+            result.f1_scores.append(f1_score(test_labels, test_predictions))
+
+            if round_index == self.rounds or labeled_mask.all():
+                break
+
+            unlabeled_indices = np.nonzero(~labeled_mask)[0]
+            unlabeled_features = pool_features[unlabeled_indices]
+            unlabeled_probabilities = classifier.predict_proba(unlabeled_features)
+            context = self._build_context(
+                classifier, pool_workload, vectorizer,
+                pool_features, pool_labels, labeled_indices,
+            )
+            selected = self.strategy.select(
+                self.batch_size, unlabeled_features, unlabeled_probabilities, context
+            )
+            labeled_mask[unlabeled_indices[selected]] = True
+        return result
+
+    def _build_context(
+        self,
+        classifier: BaseClassifier,
+        pool_workload: Workload,
+        vectorizer: PairVectorizer,
+        pool_features: np.ndarray,
+        pool_labels: np.ndarray,
+        labeled_indices: np.ndarray,
+    ) -> RiskContext:
+        """Context for risk-based selection: the labeled set doubles as risk-training data."""
+        labeled_workload = pool_workload.subset([int(i) for i in labeled_indices])
+        generator = RiskFeatureGenerator(tree_config=self.tree_config)
+        risk_features = generator.generate(labeled_workload, vectorizer=vectorizer)
+        labeled_features = pool_features[labeled_indices]
+        labeled_probabilities = classifier.predict_proba(labeled_features)
+        return RiskContext(
+            train_features=labeled_features,
+            train_labels=pool_labels[labeled_indices],
+            validation_features=labeled_features,
+            validation_probabilities=labeled_probabilities,
+            validation_machine_labels=(labeled_probabilities >= 0.5).astype(int),
+            validation_ground_truth=pool_labels[labeled_indices],
+            classifier=classifier,
+            risk_features=risk_features,
+            seed=self.seed,
+        )
+
+
+def run_active_learning_comparison(
+    workload: Workload,
+    strategies: list[SelectionStrategy],
+    initial_labeled: int = 128,
+    batch_size: int = 64,
+    rounds: int = 6,
+    seed: int = 0,
+) -> dict[str, ActiveLearningResult]:
+    """Run the loop once per strategy on the same workload (Figure 14)."""
+    results = {}
+    for strategy in strategies:
+        loop = ActiveLearningLoop(
+            strategy=strategy,
+            initial_labeled=initial_labeled,
+            batch_size=batch_size,
+            rounds=rounds,
+            seed=seed,
+        )
+        results[strategy.name] = loop.run(workload)
+    return results

@@ -1,0 +1,16 @@
+"""Reverse-mode automatic differentiation over numpy (TensorFlow substitute)."""
+
+from .optim import SGD, Adam, Optimizer, l1_penalty, l2_penalty
+from .tensor import Tensor, concatenate, parameter, stack_rows
+
+__all__ = [
+    "Adam",
+    "Optimizer",
+    "SGD",
+    "Tensor",
+    "concatenate",
+    "l1_penalty",
+    "l2_penalty",
+    "parameter",
+    "stack_rows",
+]

@@ -1,0 +1,35 @@
+"""Risk-analysis approaches: the paper's baselines plus the LearnRisk adapter."""
+
+from .ambiguity import AmbiguityBaseline
+from .base import BaseRiskScorer, RiskContext
+from .holoclean import HoloCleanBaseline
+from .learnrisk import LearnRiskScorer
+from .staticrisk import StaticRiskBaseline
+from .trustscore import TrustScoreBaseline, kmeans
+from .uncertainty import UncertaintyBaseline
+
+
+def default_scorers(seed: int = 0) -> list[BaseRiskScorer]:
+    """The five approaches of the paper's main comparative study (Figure 9/10)."""
+    del seed  # scorers read their seed from the RiskContext at fit time
+    return [
+        AmbiguityBaseline(),
+        UncertaintyBaseline(),
+        TrustScoreBaseline(),
+        StaticRiskBaseline(),
+        LearnRiskScorer(),
+    ]
+
+
+__all__ = [
+    "AmbiguityBaseline",
+    "BaseRiskScorer",
+    "HoloCleanBaseline",
+    "LearnRiskScorer",
+    "RiskContext",
+    "StaticRiskBaseline",
+    "TrustScoreBaseline",
+    "UncertaintyBaseline",
+    "default_scorers",
+    "kmeans",
+]

@@ -1,0 +1,34 @@
+"""The *Baseline* approach: classifier-output ambiguity (Hendrycks & Gimpel).
+
+The risk of a pair is simply how ambiguous the classifier's probability output
+is: outputs near 0.5 are risky, outputs near 0 or 1 are safe.  The score is
+``1 − |2p − 1|`` so that it increases with risk, as required by the scorer
+interface.  No training is involved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseRiskScorer, RiskContext
+
+
+class AmbiguityBaseline(BaseRiskScorer):
+    """Risk = ambiguity of the classifier output (the paper's *Baseline*)."""
+
+    name = "Baseline"
+
+    def fit(self, context: RiskContext) -> "AmbiguityBaseline":
+        """No training required; kept for interface uniformity."""
+        self._fitted = True
+        return self
+
+    def score(
+        self,
+        metric_matrix: np.ndarray,
+        machine_probabilities: np.ndarray,
+        machine_labels: np.ndarray,
+    ) -> np.ndarray:
+        self._check_fitted()
+        probabilities = np.asarray(machine_probabilities, dtype=float)
+        return 1.0 - np.abs(2.0 * probabilities - 1.0)

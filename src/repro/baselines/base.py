@@ -1,0 +1,91 @@
+"""Common interface of the risk-analysis approaches compared in the paper.
+
+Every approach — the four non-learnable baselines, the HoloClean-style rule
+model and LearnRisk itself — is exposed as a :class:`BaseRiskScorer` with a
+two-step protocol:
+
+* :meth:`BaseRiskScorer.fit` receives a :class:`RiskContext` describing
+  everything the paper's experimental setup makes available: the classifier
+  training data, the validation data (with classifier outputs and ground
+  truth), the fitted classifier and optionally pre-generated risk features.
+* :meth:`BaseRiskScorer.score` receives the test pairs' metric matrix,
+  classifier probabilities and machine labels, and returns one risk score per
+  pair, higher meaning "more likely mislabeled".
+
+The evaluation harness ranks the test pairs by these scores and computes the
+ROC/AUROC against the true mislabeled indicator.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..classifiers.base import BaseClassifier
+from ..exceptions import NotFittedError
+from ..risk.feature_generation import GeneratedRiskFeatures
+
+
+@dataclass
+class RiskContext:
+    """Everything a risk-analysis approach may use at fit time.
+
+    Attributes
+    ----------
+    train_features, train_labels:
+        The classifier training data (metric matrix and ground truth).
+    validation_features, validation_probabilities, validation_machine_labels,
+    validation_ground_truth:
+        The validation data — classifier outputs, hard labels and ground truth.
+        This is the risk-training data for learnable approaches.
+    classifier:
+        The fitted machine classifier (used e.g. by Uncertainty to mirror its
+        configuration when training the bootstrap ensemble).
+    risk_features:
+        Optionally pre-generated one-sided risk features shared between
+        approaches that consume rules (LearnRisk, StaticRisk).
+    seed:
+        Seed for any internal randomness.
+    """
+
+    train_features: np.ndarray
+    train_labels: np.ndarray
+    validation_features: np.ndarray
+    validation_probabilities: np.ndarray
+    validation_machine_labels: np.ndarray
+    validation_ground_truth: np.ndarray
+    classifier: BaseClassifier | None = None
+    risk_features: GeneratedRiskFeatures | None = None
+    seed: int = 0
+
+
+class BaseRiskScorer(abc.ABC):
+    """Abstract risk scorer: ``fit`` on a :class:`RiskContext`, then ``score`` pairs."""
+
+    #: Display name used in figures, tables and reports.
+    name: str = "risk-scorer"
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @abc.abstractmethod
+    def fit(self, context: RiskContext) -> "BaseRiskScorer":
+        """Prepare the scorer from the available training/validation data."""
+
+    @abc.abstractmethod
+    def score(
+        self,
+        metric_matrix: np.ndarray,
+        machine_probabilities: np.ndarray,
+        machine_labels: np.ndarray,
+    ) -> np.ndarray:
+        """Return one risk score per test pair (higher = more likely mislabeled)."""
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} is not fitted yet")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(name={self.name!r})"

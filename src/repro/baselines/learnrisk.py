@@ -1,0 +1,77 @@
+"""Adapter exposing :class:`~repro.risk.model.LearnRiskModel` as a risk scorer.
+
+The evaluation harness treats every approach uniformly through the
+:class:`~repro.baselines.base.BaseRiskScorer` interface; this adapter builds a
+LearnRisk model from the shared risk features (or generates them on demand when
+the context carries none), trains it on the validation data and scores test
+pairs with VaR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..risk.feature_generation import GeneratedRiskFeatures
+from ..risk.model import LearnRiskModel
+from ..risk.training import TrainingConfig
+from .base import BaseRiskScorer, RiskContext
+
+
+class LearnRiskScorer(BaseRiskScorer):
+    """The paper's LearnRisk approach behind the common scorer interface.
+
+    Parameters
+    ----------
+    training_config:
+        Risk-model training hyper-parameters (VaR confidence, epochs, ...).
+    risk_metric:
+        ``"var"`` (default), ``"cvar"`` or ``"expectation"`` for ablations.
+    n_output_bins:
+        Number of classifier-output bins with individually learned RSDs.
+    """
+
+    name = "LearnRisk"
+
+    def __init__(
+        self,
+        training_config: TrainingConfig | None = None,
+        risk_metric: str = "var",
+        n_output_bins: int = 10,
+    ) -> None:
+        super().__init__()
+        self.training_config = training_config or TrainingConfig()
+        self.risk_metric = risk_metric
+        self.n_output_bins = n_output_bins
+        self.model: LearnRiskModel | None = None
+
+    def fit(self, context: RiskContext) -> "LearnRiskScorer":
+        features: GeneratedRiskFeatures | None = context.risk_features
+        if features is None:
+            raise ConfigurationError(
+                "LearnRiskScorer requires context.risk_features; generate them with "
+                "RiskFeatureGenerator before fitting the scorers"
+            )
+        self.model = LearnRiskModel(
+            features,
+            config=self.training_config,
+            n_output_bins=self.n_output_bins,
+            risk_metric=self.risk_metric,
+        )
+        self.model.fit(
+            context.validation_features,
+            context.validation_probabilities,
+            context.validation_machine_labels,
+            context.validation_ground_truth,
+        )
+        self._fitted = True
+        return self
+
+    def score(
+        self,
+        metric_matrix: np.ndarray,
+        machine_probabilities: np.ndarray,
+        machine_labels: np.ndarray,
+    ) -> np.ndarray:
+        self._check_fitted()
+        return self.model.score(metric_matrix, machine_probabilities, machine_labels)

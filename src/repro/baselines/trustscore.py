@@ -1,0 +1,137 @@
+"""The *TrustScore* baseline (Jiang et al., NeurIPS 2018).
+
+Each class is summarised by a set of clusters fitted on the training data in
+metric-feature space (the paper uses the DNN's internal representation; our
+substitute is the basic-metric vector, standardised).  For a test pair, let
+``ρ_Y`` be its distance to the nearest cluster of its *predicted* class and
+``ρ_N`` its distance to the nearest cluster of the other class; the trust score
+is ``ρ_N / ρ_Y`` (high = trustworthy) and the risk score returned here is its
+monotone inverse ``ρ_Y / (ρ_Y + ρ_N)``.
+
+The clustering is a small k-means implemented from scratch (deterministic given
+the context seed), with an optional density-based filtering of outlying
+training points, following the original paper's α-high-density trimming.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .base import BaseRiskScorer, RiskContext
+
+
+def kmeans(
+    points: np.ndarray, n_clusters: int, seed: int = 0, max_iterations: int = 50
+) -> np.ndarray:
+    """Plain Lloyd's k-means; returns the cluster centroids.
+
+    Degenerates gracefully when there are fewer points than clusters (every
+    point becomes its own centroid).
+    """
+    points = np.asarray(points, dtype=float)
+    if len(points) == 0:
+        raise ConfigurationError("kmeans requires at least one point")
+    n_clusters = min(n_clusters, len(points))
+    rng = np.random.default_rng(seed)
+    centroid_indices = rng.choice(len(points), size=n_clusters, replace=False)
+    centroids = points[centroid_indices].copy()
+    for _ in range(max_iterations):
+        distances = np.linalg.norm(points[:, None, :] - centroids[None, :, :], axis=2)
+        assignments = distances.argmin(axis=1)
+        new_centroids = centroids.copy()
+        for cluster in range(n_clusters):
+            members = points[assignments == cluster]
+            if len(members):
+                new_centroids[cluster] = members.mean(axis=0)
+        if np.allclose(new_centroids, centroids):
+            break
+        centroids = new_centroids
+    return centroids
+
+
+class TrustScoreBaseline(BaseRiskScorer):
+    """Risk from cluster-distance ratios in metric-feature space.
+
+    Parameters
+    ----------
+    n_clusters:
+        Clusters per class.
+    density_fraction:
+        Fraction of each class's training points kept after trimming the
+        points farthest from their class mean (1.0 keeps everything).
+    """
+
+    name = "TrustScore"
+
+    def __init__(self, n_clusters: int = 5, density_fraction: float = 0.9) -> None:
+        super().__init__()
+        if not 0.0 < density_fraction <= 1.0:
+            raise ConfigurationError("density_fraction must be in (0, 1]")
+        self.n_clusters = n_clusters
+        self.density_fraction = density_fraction
+        self._centroids: dict[int, np.ndarray] = {}
+        self._feature_mean: np.ndarray | None = None
+        self._feature_scale: np.ndarray | None = None
+
+    def _standardise(self, features: np.ndarray) -> np.ndarray:
+        return (features - self._feature_mean) / self._feature_scale
+
+    def fit(self, context: RiskContext) -> "TrustScoreBaseline":
+        features = np.asarray(context.train_features, dtype=float)
+        labels = np.asarray(context.train_labels, dtype=int)
+        self._feature_mean = features.mean(axis=0)
+        self._feature_scale = np.maximum(features.std(axis=0), 1e-6)
+        standardised = self._standardise(features)
+
+        self._centroids = {}
+        for label in (0, 1):
+            class_points = standardised[labels == label]
+            if len(class_points) == 0:
+                # Degenerate training set: represent the absent class far away.
+                self._centroids[label] = np.full((1, features.shape[1]), 1e6)
+                continue
+            if self.density_fraction < 1.0 and len(class_points) > 10:
+                center = class_points.mean(axis=0)
+                distances = np.linalg.norm(class_points - center, axis=1)
+                keep = int(np.ceil(self.density_fraction * len(class_points)))
+                class_points = class_points[np.argsort(distances)[:keep]]
+            self._centroids[label] = kmeans(class_points, self.n_clusters, seed=context.seed)
+        self._fitted = True
+        return self
+
+    def _distance_to_class(self, standardised: np.ndarray, label: int) -> np.ndarray:
+        centroids = self._centroids[label]
+        distances = np.linalg.norm(standardised[:, None, :] - centroids[None, :, :], axis=2)
+        return distances.min(axis=1)
+
+    def score(
+        self,
+        metric_matrix: np.ndarray,
+        machine_probabilities: np.ndarray,
+        machine_labels: np.ndarray,
+    ) -> np.ndarray:
+        self._check_fitted()
+        features = np.asarray(metric_matrix, dtype=float)
+        machine_labels = np.asarray(machine_labels, dtype=int)
+        standardised = self._standardise(features)
+        distance_to_match = self._distance_to_class(standardised, 1)
+        distance_to_unmatch = self._distance_to_class(standardised, 0)
+        same = np.where(machine_labels == 1, distance_to_match, distance_to_unmatch)
+        other = np.where(machine_labels == 1, distance_to_unmatch, distance_to_match)
+        # Trust = other / same; risk is its bounded monotone inverse.
+        return same / np.maximum(same + other, 1e-12)
+
+    def trust_scores(
+        self, metric_matrix: np.ndarray, machine_labels: np.ndarray
+    ) -> np.ndarray:
+        """Return the original (higher-is-better) trust scores ``ρ_N / ρ_Y``."""
+        self._check_fitted()
+        features = np.asarray(metric_matrix, dtype=float)
+        machine_labels = np.asarray(machine_labels, dtype=int)
+        standardised = self._standardise(features)
+        distance_to_match = self._distance_to_class(standardised, 1)
+        distance_to_unmatch = self._distance_to_class(standardised, 0)
+        same = np.where(machine_labels == 1, distance_to_match, distance_to_unmatch)
+        other = np.where(machine_labels == 1, distance_to_unmatch, distance_to_match)
+        return other / np.maximum(same, 1e-12)

@@ -1,0 +1,63 @@
+"""The *Uncertainty* baseline (Mozafari et al., bootstrap ensembles).
+
+Twenty classifiers are trained on bootstrap resamples of the classifier
+training data; a pair's equivalence probability is estimated as the fraction of
+ensemble members labeling it a match, and the risk is the variance-style score
+``p (1 − p)``.  Because the vote fraction takes at most ``n_models + 1``
+distinct values, the resulting ROC curves are the highly regular staircases the
+paper remarks on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..classifiers.base import BaseClassifier
+from ..classifiers.ensemble import BootstrapEnsemble
+from .base import BaseRiskScorer, RiskContext
+
+
+class UncertaintyBaseline(BaseRiskScorer):
+    """Risk = ``p (1 − p)`` of the bootstrap-ensemble vote fraction.
+
+    Parameters
+    ----------
+    n_models:
+        Ensemble size (20 in the paper).
+    model_factory:
+        Factory for the ensemble members; the default lets
+        :class:`~repro.classifiers.ensemble.BootstrapEnsemble` choose a fast
+        logistic-regression member.
+    """
+
+    name = "Uncertainty"
+
+    def __init__(
+        self,
+        n_models: int = 20,
+        model_factory: Callable[[int], BaseClassifier] | None = None,
+    ) -> None:
+        super().__init__()
+        self.n_models = n_models
+        self.model_factory = model_factory
+        self._ensemble: BootstrapEnsemble | None = None
+
+    def fit(self, context: RiskContext) -> "UncertaintyBaseline":
+        self._ensemble = BootstrapEnsemble(
+            model_factory=self.model_factory, n_models=self.n_models, seed=context.seed
+        )
+        self._ensemble.fit(context.train_features, context.train_labels)
+        self._fitted = True
+        return self
+
+    def score(
+        self,
+        metric_matrix: np.ndarray,
+        machine_probabilities: np.ndarray,
+        machine_labels: np.ndarray,
+    ) -> np.ndarray:
+        self._check_fitted()
+        vote_fraction = self._ensemble.vote_fraction(np.asarray(metric_matrix, dtype=float))
+        return vote_fraction * (1.0 - vote_fraction)

@@ -1,0 +1,28 @@
+"""ER classifiers over the basic-metric feature matrix."""
+
+from .base import BaseClassifier, accuracy_score
+from .calibration import PlattCalibrator, expected_calibration_error
+from .ensemble import BootstrapEnsemble
+from .forest import LabelingRule, RandomForestClassifier, extract_labeling_rules
+from .logistic import LogisticRegressionClassifier
+from .mlp import MLPClassifier
+from .subset import ColumnSubsetClassifier
+from .tree import DecisionTreeClassifier, TreeNode, find_best_split, gini_impurity
+
+__all__ = [
+    "BaseClassifier",
+    "BootstrapEnsemble",
+    "ColumnSubsetClassifier",
+    "DecisionTreeClassifier",
+    "LabelingRule",
+    "LogisticRegressionClassifier",
+    "MLPClassifier",
+    "PlattCalibrator",
+    "RandomForestClassifier",
+    "TreeNode",
+    "accuracy_score",
+    "expected_calibration_error",
+    "extract_labeling_rules",
+    "find_best_split",
+    "gini_impurity",
+]

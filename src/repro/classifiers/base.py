@@ -1,0 +1,80 @@
+"""Common interface of the ER classifiers.
+
+Every classifier in this package is a binary classifier over the basic-metric
+feature matrix produced by :class:`~repro.features.vectorizer.PairVectorizer`.
+They follow the familiar ``fit`` / ``predict_proba`` / ``predict`` protocol so
+the evaluation harness, the baselines and the risk model can treat them
+uniformly (the risk model only ever consumes ``predict_proba``).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..exceptions import DataError, NotFittedError
+
+
+class BaseClassifier(abc.ABC):
+    """Abstract base class for the feature-matrix ER classifiers."""
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    # ------------------------------------------------------------------ API
+    @abc.abstractmethod
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "BaseClassifier":
+        """Train the classifier on ``features`` (n_pairs, n_metrics) and binary ``labels``."""
+
+    @abc.abstractmethod
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Return the estimated equivalence probability of each pair."""
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Return hard 0/1 labels by thresholding :meth:`predict_proba`."""
+        return (self.predict_proba(features) >= threshold).astype(int)
+
+    # --------------------------------------------------------------- helpers
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} is not fitted yet")
+
+    @staticmethod
+    def _validate_training_data(features: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=int)
+        if features.ndim != 2:
+            raise DataError(f"features must be 2-D, got shape {features.shape}")
+        if labels.ndim != 1 or len(labels) != len(features):
+            raise DataError(
+                f"labels must be 1-D with the same length as features "
+                f"({labels.shape} vs {features.shape})"
+            )
+        if len(features) == 0:
+            raise DataError("cannot fit a classifier on an empty training set")
+        unexpected = set(np.unique(labels)) - {0, 1}
+        if unexpected:
+            raise DataError(f"labels must be binary, found values {sorted(unexpected)}")
+        return features, labels
+
+    @staticmethod
+    def _class_weights(labels: np.ndarray, balance: bool) -> np.ndarray:
+        """Per-sample weights; balanced weighting counteracts ER's class imbalance."""
+        weights = np.ones(len(labels), dtype=float)
+        if not balance:
+            return weights
+        n_positive = max(1, int(labels.sum()))
+        n_negative = max(1, int(len(labels) - labels.sum()))
+        weights[labels == 1] = len(labels) / (2.0 * n_positive)
+        weights[labels == 0] = len(labels) / (2.0 * n_negative)
+        return weights
+
+
+def accuracy_score(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """Fraction of correct predictions (helper shared by classifier tests)."""
+    labels = np.asarray(labels)
+    predictions = np.asarray(predictions)
+    if len(labels) == 0:
+        return 0.0
+    return float(np.mean(labels == predictions))

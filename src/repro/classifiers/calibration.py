@@ -1,0 +1,87 @@
+"""Probability calibration (Platt scaling and reliability diagnostics).
+
+Related work in the paper points out that confidence-calibration techniques
+rescale a classifier's probabilities without changing their *ranking*, which is
+why they cannot replace a risk model.  We implement Platt scaling and the
+expected calibration error so that this claim can be verified empirically in
+tests and examples: a calibrated classifier has (near) identical AUROC for
+mislabel detection as the raw Baseline method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, NotFittedError
+
+
+class PlattCalibrator:
+    """Platt scaling: fit a sigmoid ``1 / (1 + exp(a * s + b))`` on held-out scores.
+
+    Parameters
+    ----------
+    max_iterations:
+        Newton/gradient iterations for fitting the two parameters.
+    learning_rate:
+        Gradient step size.
+    """
+
+    def __init__(self, max_iterations: int = 500, learning_rate: float = 0.1) -> None:
+        if max_iterations < 1:
+            raise ConfigurationError("max_iterations must be >= 1")
+        self.max_iterations = max_iterations
+        self.learning_rate = learning_rate
+        self.slope_: float | None = None
+        self.intercept_: float | None = None
+
+    def fit(self, scores: np.ndarray, labels: np.ndarray) -> "PlattCalibrator":
+        """Fit the sigmoid parameters on classifier scores and true labels."""
+        scores = np.asarray(scores, dtype=float)
+        labels = np.asarray(labels, dtype=float)
+        if scores.shape != labels.shape:
+            raise ConfigurationError("scores and labels must have the same shape")
+        slope, intercept = 1.0, 0.0
+        for _ in range(self.max_iterations):
+            logits = slope * scores + intercept
+            probabilities = 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
+            error = probabilities - labels
+            gradient_slope = float(np.mean(error * scores))
+            gradient_intercept = float(np.mean(error))
+            slope -= self.learning_rate * gradient_slope
+            intercept -= self.learning_rate * gradient_intercept
+        self.slope_, self.intercept_ = slope, intercept
+        return self
+
+    def transform(self, scores: np.ndarray) -> np.ndarray:
+        """Map raw scores to calibrated probabilities."""
+        if self.slope_ is None or self.intercept_ is None:
+            raise NotFittedError("PlattCalibrator is not fitted yet")
+        scores = np.asarray(scores, dtype=float)
+        logits = self.slope_ * scores + self.intercept_
+        return 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
+
+    def fit_transform(self, scores: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Fit on the data and return the calibrated probabilities."""
+        return self.fit(scores, labels).transform(scores)
+
+
+def expected_calibration_error(
+    probabilities: np.ndarray, labels: np.ndarray, n_bins: int = 10
+) -> float:
+    """Expected calibration error (ECE) over equal-width probability bins."""
+    probabilities = np.asarray(probabilities, dtype=float)
+    labels = np.asarray(labels, dtype=float)
+    if len(probabilities) == 0:
+        return 0.0
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    error = 0.0
+    for low, high in zip(edges[:-1], edges[1:]):
+        in_bin = (probabilities >= low) & (probabilities < high)
+        if high == 1.0:
+            in_bin |= probabilities == 1.0
+        if not np.any(in_bin):
+            continue
+        bin_confidence = float(np.mean(probabilities[in_bin]))
+        bin_accuracy = float(np.mean(labels[in_bin]))
+        error += np.sum(in_bin) / len(probabilities) * abs(bin_confidence - bin_accuracy)
+    return float(error)

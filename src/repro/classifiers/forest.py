@@ -1,0 +1,171 @@
+"""Random forest (bagged CART trees) and labeling-rule extraction.
+
+The paper's HoloClean comparison (Section 7.3) generates *two-sided labeling
+rules* with a random forest, "as in Corleone": every root-to-leaf path of every
+tree whose leaf is sufficiently pure becomes one labeling rule.  This module
+provides both the forest classifier itself and :func:`extract_labeling_rules`,
+which turns a fitted forest into :class:`LabelingRule` objects consumed by the
+HoloClean-style baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .base import BaseClassifier
+from .tree import DecisionTreeClassifier, TreeNode
+
+
+class RandomForestClassifier(BaseClassifier):
+    """Bagging ensemble of CART trees with per-split feature subsampling.
+
+    Parameters
+    ----------
+    n_trees:
+        Number of trees.
+    max_depth, min_samples_leaf, class_weight:
+        Passed to every :class:`~repro.classifiers.tree.DecisionTreeClassifier`.
+    max_features:
+        Features examined per split; ``None`` uses ``sqrt(n_features)``.
+    seed:
+        Seed controlling bootstraps and per-tree feature subsampling.
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 20,
+        max_depth: int = 4,
+        min_samples_leaf: int = 5,
+        class_weight: dict[int, float] | None = None,
+        max_features: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if n_trees < 1:
+            raise ConfigurationError("n_trees must be >= 1")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.class_weight = class_weight
+        self.max_features = max_features
+        self.seed = seed
+        self.trees: list[DecisionTreeClassifier] = []
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "RandomForestClassifier":
+        features, labels = self._validate_training_data(features, labels)
+        rng = np.random.default_rng(self.seed)
+        n_samples, n_features = features.shape
+        max_features = self.max_features or max(1, int(np.sqrt(n_features)))
+        self.trees = []
+        for tree_index in range(self.n_trees):
+            bootstrap = rng.integers(0, n_samples, size=n_samples)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                class_weight=self.class_weight,
+                max_features=max_features,
+                seed=self.seed + tree_index + 1,
+            )
+            tree.fit(features[bootstrap], labels[bootstrap])
+            self.trees.append(tree)
+        self._fitted = True
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        features = np.asarray(features, dtype=float)
+        probabilities = np.zeros(len(features), dtype=float)
+        for tree in self.trees:
+            probabilities += tree.predict_proba(features)
+        return probabilities / len(self.trees)
+
+
+@dataclass(frozen=True)
+class LabelingRule:
+    """A two-sided labeling rule extracted from a decision-tree leaf.
+
+    A pair satisfying every ``(feature_index, threshold, is_leq)`` condition is
+    labeled ``label`` (1 = matching, 0 = unmatching).  ``confidence`` is the
+    purity of the generating leaf, ``support`` its sample count.
+    """
+
+    conditions: tuple[tuple[int, float, bool], ...]
+    label: int
+    confidence: float
+    support: int
+
+    def matches(self, row: np.ndarray) -> bool:
+        """Return ``True`` when the metric vector ``row`` satisfies every condition."""
+        for feature_index, threshold, is_leq in self.conditions:
+            value = row[feature_index]
+            if is_leq and value > threshold:
+                return False
+            if not is_leq and value <= threshold:
+                return False
+        return True
+
+    def coverage(self, features: np.ndarray) -> np.ndarray:
+        """Vectorised membership mask of the rule over a feature matrix."""
+        mask = np.ones(len(features), dtype=bool)
+        for feature_index, threshold, is_leq in self.conditions:
+            if is_leq:
+                mask &= features[:, feature_index] <= threshold
+            else:
+                mask &= features[:, feature_index] > threshold
+        return mask
+
+    def describe(self, feature_names: list[str] | None = None) -> str:
+        """Human-readable form of the rule."""
+        parts = []
+        for feature_index, threshold, is_leq in self.conditions:
+            name = feature_names[feature_index] if feature_names else f"metric[{feature_index}]"
+            operator = "<=" if is_leq else ">"
+            parts.append(f"{name} {operator} {threshold:.3f}")
+        consequent = "matching" if self.label == 1 else "unmatching"
+        return " AND ".join(parts) + f" -> {consequent}"
+
+
+def _leaf_to_rule(leaf: TreeNode, min_purity: float, min_support: int) -> LabelingRule | None:
+    """Convert a leaf to a labeling rule when it is pure and supported enough."""
+    if not leaf.path or leaf.n_samples < min_support:
+        return None
+    positive_purity = leaf.probability
+    negative_purity = 1.0 - leaf.probability
+    if positive_purity >= min_purity:
+        return LabelingRule(leaf.path, 1, positive_purity, leaf.n_samples)
+    if negative_purity >= min_purity:
+        return LabelingRule(leaf.path, 0, negative_purity, leaf.n_samples)
+    return None
+
+
+def extract_labeling_rules(
+    forest: RandomForestClassifier,
+    min_purity: float = 0.9,
+    min_support: int = 5,
+    max_rules: int | None = None,
+) -> list[LabelingRule]:
+    """Extract two-sided labeling rules from every pure leaf of a fitted forest.
+
+    Rules are deduplicated by their condition/label signature and ordered by
+    decreasing support so that an optional ``max_rules`` cut keeps the most
+    general rules (mirroring the paper's rule-count matching against LearnRisk).
+    """
+    seen: set[tuple] = set()
+    rules: list[LabelingRule] = []
+    for tree in forest.trees:
+        for leaf in tree.leaves():
+            rule = _leaf_to_rule(leaf, min_purity, min_support)
+            if rule is None:
+                continue
+            signature = (rule.conditions, rule.label)
+            if signature in seen:
+                continue
+            seen.add(signature)
+            rules.append(rule)
+    rules.sort(key=lambda rule: (-rule.support, -rule.confidence))
+    if max_rules is not None:
+        rules = rules[:max_rules]
+    return rules

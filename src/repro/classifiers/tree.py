@@ -1,0 +1,259 @@
+"""CART decision trees from scratch.
+
+The reproduction needs decision trees in two places: as building blocks of the
+random forest that generates *two-sided labeling rules* for the HoloClean-style
+baseline (Section 7.3), and as a reference implementation that the one-sided
+risk-feature trees of :mod:`repro.risk.onesided_tree` are benchmarked against.
+The implementation is a standard binary CART: at every node it scans all
+(feature, threshold) splits, picks the one minimising the weighted Gini index
+(Eq. 5–6 of the paper), and recurses until a depth / purity / size limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .base import BaseClassifier
+
+
+def gini_impurity(labels: np.ndarray, weights: np.ndarray | None = None) -> float:
+    """Weighted Gini impurity ``1 - t_M² - t_U²`` of a label set (Eq. 6)."""
+    if len(labels) == 0:
+        return 0.0
+    if weights is None:
+        positive_fraction = float(np.mean(labels))
+    else:
+        total = float(weights.sum())
+        if total <= 0:
+            return 0.0
+        positive_fraction = float(weights[labels == 1].sum() / total)
+    negative_fraction = 1.0 - positive_fraction
+    return 1.0 - positive_fraction ** 2 - negative_fraction ** 2
+
+
+@dataclass
+class TreeNode:
+    """A node of a fitted decision tree.
+
+    Leaf nodes have ``feature_index is None`` and carry the positive-class
+    probability; internal nodes route samples with ``value <= threshold`` to
+    the left child.
+    """
+
+    feature_index: int | None = None
+    threshold: float = 0.0
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+    probability: float = 0.5
+    n_samples: int = 0
+    impurity: float = 0.0
+    depth: int = 0
+    path: tuple[tuple[int, float, bool], ...] = field(default_factory=tuple)
+
+    def is_leaf(self) -> bool:
+        return self.feature_index is None
+
+
+@dataclass(frozen=True)
+class SplitCandidate:
+    """The best split found for one node (or ``None`` semantics via ``valid``)."""
+
+    feature_index: int
+    threshold: float
+    score: float
+    valid: bool = True
+
+
+def find_best_split(
+    features: np.ndarray,
+    labels: np.ndarray,
+    weights: np.ndarray,
+    feature_indices: np.ndarray,
+    min_samples_leaf: int,
+) -> SplitCandidate | None:
+    """Exhaustively search the (feature, threshold) split minimising weighted Gini."""
+    best: SplitCandidate | None = None
+    n_samples = len(labels)
+    for feature_index in feature_indices:
+        column = features[:, feature_index]
+        order = np.argsort(column, kind="mergesort")
+        sorted_values = column[order]
+        sorted_labels = labels[order]
+        sorted_weights = weights[order]
+
+        cumulative_weight = np.cumsum(sorted_weights)
+        cumulative_positive = np.cumsum(sorted_weights * sorted_labels)
+        total_weight = cumulative_weight[-1]
+        total_positive = cumulative_positive[-1]
+
+        # Candidate split positions: between distinct consecutive values.
+        distinct = np.nonzero(np.diff(sorted_values) > 1e-12)[0]
+        for position in distinct:
+            left_count = position + 1
+            right_count = n_samples - left_count
+            if left_count < min_samples_leaf or right_count < min_samples_leaf:
+                continue
+            left_weight = cumulative_weight[position]
+            right_weight = total_weight - left_weight
+            if left_weight <= 0 or right_weight <= 0:
+                continue
+            left_positive = cumulative_positive[position]
+            right_positive = total_positive - left_positive
+            left_p = left_positive / left_weight
+            right_p = right_positive / right_weight
+            left_gini = 1.0 - left_p ** 2 - (1.0 - left_p) ** 2
+            right_gini = 1.0 - right_p ** 2 - (1.0 - right_p) ** 2
+            score = (left_weight * left_gini + right_weight * right_gini) / total_weight
+            if best is None or score < best.score:
+                threshold = float((sorted_values[position] + sorted_values[position + 1]) / 2.0)
+                best = SplitCandidate(int(feature_index), threshold, float(score))
+    return best
+
+
+class DecisionTreeClassifier(BaseClassifier):
+    """A binary CART classifier.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (the paper uses small depths, <= 4, for rules).
+    min_samples_leaf:
+        Minimum number of samples in a leaf.
+    min_impurity_decrease:
+        Minimum Gini improvement required to keep a split.
+    class_weight:
+        Optional ``{0: w0, 1: w1}`` class weighting (the paper up-weights the
+        matching class heavily when generating matching rules).
+    max_features:
+        Number of features examined per split (for random-forest use);
+        ``None`` examines all features.
+    seed:
+        Seed for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 4,
+        min_samples_leaf: int = 5,
+        min_impurity_decrease: float = 0.0,
+        class_weight: dict[int, float] | None = None,
+        max_features: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if max_depth < 1:
+            raise ConfigurationError("max_depth must be >= 1")
+        if min_samples_leaf < 1:
+            raise ConfigurationError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_impurity_decrease = min_impurity_decrease
+        self.class_weight = class_weight
+        self.max_features = max_features
+        self.seed = seed
+        self.root: TreeNode | None = None
+        self._n_features = 0
+
+    # ------------------------------------------------------------------- fit
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "DecisionTreeClassifier":
+        features, labels = self._validate_training_data(features, labels)
+        self._n_features = features.shape[1]
+        weights = np.ones(len(labels), dtype=float)
+        if self.class_weight:
+            for label_value, weight in self.class_weight.items():
+                weights[labels == label_value] = weight
+        rng = np.random.default_rng(self.seed)
+        self.root = self._build(features, labels, weights, depth=0, rng=rng, path=())
+        self._fitted = True
+        return self
+
+    def _build(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        weights: np.ndarray,
+        depth: int,
+        rng: np.random.Generator,
+        path: tuple[tuple[int, float, bool], ...],
+    ) -> TreeNode:
+        impurity = gini_impurity(labels, weights)
+        total_weight = float(weights.sum())
+        probability = float(weights[labels == 1].sum() / total_weight) if total_weight > 0 else 0.5
+        node = TreeNode(probability=probability, n_samples=len(labels), impurity=impurity,
+                        depth=depth, path=path)
+        if depth >= self.max_depth or impurity <= 1e-12 or len(labels) < 2 * self.min_samples_leaf:
+            return node
+
+        if self.max_features is not None and self.max_features < self._n_features:
+            feature_indices = rng.choice(self._n_features, size=self.max_features, replace=False)
+        else:
+            feature_indices = np.arange(self._n_features)
+
+        split = find_best_split(features, labels, weights, feature_indices, self.min_samples_leaf)
+        if split is None:
+            return node
+        if impurity - split.score < self.min_impurity_decrease:
+            return node
+
+        mask = features[:, split.feature_index] <= split.threshold
+        if mask.all() or not mask.any():
+            return node
+
+        node.feature_index = split.feature_index
+        node.threshold = split.threshold
+        node.left = self._build(
+            features[mask], labels[mask], weights[mask], depth + 1, rng,
+            path + ((split.feature_index, split.threshold, True),),
+        )
+        node.right = self._build(
+            features[~mask], labels[~mask], weights[~mask], depth + 1, rng,
+            path + ((split.feature_index, split.threshold, False),),
+        )
+        return node
+
+    # --------------------------------------------------------------- predict
+    def _leaf_for(self, row: np.ndarray) -> TreeNode:
+        node = self.root
+        while node is not None and not node.is_leaf():
+            if row[node.feature_index] <= node.threshold:
+                node = node.left
+            else:
+                node = node.right
+        return node
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        features = np.asarray(features, dtype=float)
+        return np.array([self._leaf_for(row).probability for row in features])
+
+    # ----------------------------------------------------------------- rules
+    def leaves(self) -> list[TreeNode]:
+        """Return every leaf node (used for rule extraction)."""
+        self._check_fitted()
+        collected: list[TreeNode] = []
+
+        def visit(node: TreeNode | None) -> None:
+            if node is None:
+                return
+            if node.is_leaf():
+                collected.append(node)
+                return
+            visit(node.left)
+            visit(node.right)
+
+        visit(self.root)
+        return collected
+
+    def depth(self) -> int:
+        """Return the realised depth of the fitted tree."""
+        self._check_fitted()
+
+        def visit(node: TreeNode | None) -> int:
+            if node is None or node.is_leaf():
+                return 0
+            return 1 + max(visit(node.left), visit(node.right))
+
+        return visit(self.root)

@@ -1,0 +1,79 @@
+"""Data model, synthetic benchmark generators, blocking and workload splits."""
+
+from .blocking import SortedNeighbourhoodBlocker, TokenBlocker, block_tables, blocking_recall
+from .corruption import CorruptionProfile, Corruptor
+from .datasets import (
+    DATASET_BUILDERS,
+    PRIMARY_DATASETS,
+    generate_ab,
+    generate_ag,
+    generate_da,
+    generate_ds,
+    generate_sg,
+    load_dataset,
+    table2_statistics,
+)
+from .io import export_workload, import_workload, read_pairs, read_table, write_pairs, write_table
+from .generators import (
+    BibliographicGenerator,
+    DomainGenerator,
+    Entity,
+    GenerationConfig,
+    ProductGenerator,
+    SoftwareGenerator,
+    SongGenerator,
+    available_domains,
+    generate_workload,
+    make_generator,
+    workload_summary,
+)
+from .records import MATCH, UNMATCH, Record, RecordPair, Table, pairs_from_ids
+from .schema import Attribute, AttributeType, Schema
+from .workload import Workload, WorkloadSplit, split_workload
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "BibliographicGenerator",
+    "CorruptionProfile",
+    "Corruptor",
+    "DATASET_BUILDERS",
+    "DomainGenerator",
+    "Entity",
+    "GenerationConfig",
+    "MATCH",
+    "PRIMARY_DATASETS",
+    "ProductGenerator",
+    "Record",
+    "RecordPair",
+    "Schema",
+    "SoftwareGenerator",
+    "SongGenerator",
+    "SortedNeighbourhoodBlocker",
+    "Table",
+    "TokenBlocker",
+    "UNMATCH",
+    "Workload",
+    "WorkloadSplit",
+    "available_domains",
+    "block_tables",
+    "blocking_recall",
+    "export_workload",
+    "generate_ab",
+    "generate_ag",
+    "generate_da",
+    "generate_ds",
+    "generate_sg",
+    "generate_workload",
+    "import_workload",
+    "load_dataset",
+    "make_generator",
+    "pairs_from_ids",
+    "read_pairs",
+    "read_table",
+    "split_workload",
+    "write_pairs",
+    "write_table",
+    "table2_statistics",
+    "workload_summary",
+]

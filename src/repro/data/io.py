@@ -1,0 +1,136 @@
+"""CSV import/export of ER tables and workloads.
+
+The public benchmarks the paper uses (DBLP-Scholar, Abt-Buy, Amazon-Google,
+Songs) ship as CSV files: one file per table plus a perfect-mapping file of
+ground-truth matches.  This module reads and writes that layout so the library
+can be pointed at the real downloads when they are available, and so the
+synthetic analogues can be exported for inspection or reuse by other tools.
+
+Layout
+------
+``<name>_left.csv`` / ``<name>_right.csv``
+    One row per record; the first column is the record id, the remaining
+    columns are the schema attributes.
+``<name>_matches.csv``
+    Two columns ``left_id,right_id`` listing the ground-truth equivalent pairs.
+``<name>_pairs.csv`` (optional)
+    Two columns listing the blocked candidate pairs; when absent, candidates
+    must be produced by blocking (:mod:`repro.data.blocking`).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from ..exceptions import DataError
+from .records import Record, Table, pairs_from_ids
+from .schema import Attribute, AttributeType, Schema
+from .workload import Workload
+
+
+def write_table(table: Table, path: str | Path) -> Path:
+    """Write a table to ``path`` as CSV (id column first, then schema order)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", *table.schema.names])
+        for record in table:
+            writer.writerow([record.record_id, *(_format_value(record[name]) for name in table.schema.names)])
+    return path
+
+
+def read_table(path: str | Path, schema: Schema, name: str | None = None) -> Table:
+    """Read a table written by :func:`write_table` (or benchmark-style CSV)."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"table file {path} does not exist")
+    table = Table(name or path.stem, schema)
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or "id" not in reader.fieldnames:
+            raise DataError(f"table file {path} has no 'id' column")
+        for row in reader:
+            values = {
+                attribute.name: _parse_value(row.get(attribute.name), attribute)
+                for attribute in schema
+            }
+            table.add(Record(record_id=row["id"], values=values, source=table.name))
+    return table
+
+
+def write_pairs(pairs: list[tuple[str, str]], path: str | Path) -> Path:
+    """Write ``(left_id, right_id)`` pairs to CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["left_id", "right_id"])
+        writer.writerows(pairs)
+    return path
+
+
+def read_pairs(path: str | Path) -> list[tuple[str, str]]:
+    """Read ``(left_id, right_id)`` pairs written by :func:`write_pairs`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"pair file {path} does not exist")
+    pairs = []
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or {"left_id", "right_id"} - set(reader.fieldnames):
+            raise DataError(f"pair file {path} must have 'left_id' and 'right_id' columns")
+        for row in reader:
+            pairs.append((row["left_id"], row["right_id"]))
+    return pairs
+
+
+def export_workload(workload: Workload, directory: str | Path) -> dict[str, Path]:
+    """Export a workload (tables, ground-truth matches, candidate pairs) to a directory."""
+    if workload.left_table is None or workload.right_table is None:
+        raise DataError("workload has no source tables to export")
+    directory = Path(directory)
+    matches = [pair.pair_id for pair in workload.pairs if pair.ground_truth == 1]
+    candidates = [pair.pair_id for pair in workload.pairs]
+    return {
+        "left": write_table(workload.left_table, directory / f"{workload.name}_left.csv"),
+        "right": write_table(workload.right_table, directory / f"{workload.name}_right.csv"),
+        "matches": write_pairs(matches, directory / f"{workload.name}_matches.csv"),
+        "pairs": write_pairs(candidates, directory / f"{workload.name}_pairs.csv"),
+    }
+
+
+def import_workload(directory: str | Path, name: str, schema: Schema) -> Workload:
+    """Import a workload previously written by :func:`export_workload`."""
+    directory = Path(directory)
+    left_table = read_table(directory / f"{name}_left.csv", schema, name=f"{name}-left")
+    right_table = read_table(directory / f"{name}_right.csv", schema, name=f"{name}-right")
+    matches = read_pairs(directory / f"{name}_matches.csv")
+    pairs_path = directory / f"{name}_pairs.csv"
+    if pairs_path.exists():
+        candidates = read_pairs(pairs_path)
+    else:
+        candidates = matches
+    pairs = pairs_from_ids(left_table, right_table, candidates, matches)
+    return Workload(name, pairs, left_table, right_table)
+
+
+def _format_value(value: object) -> str:
+    """Serialise a record value for CSV (missing values become the empty string)."""
+    if value is None:
+        return ""
+    return str(value)
+
+
+def _parse_value(raw: str | None, attribute: Attribute) -> object:
+    """Parse a CSV cell according to its attribute type."""
+    if raw is None or raw == "":
+        return None
+    if attribute.attr_type is AttributeType.NUMERIC:
+        try:
+            value = float(raw)
+        except ValueError as exc:
+            raise DataError(f"invalid numeric value {raw!r} for attribute {attribute.name!r}") from exc
+        return int(value) if value.is_integer() else value
+    return raw

@@ -1,0 +1,202 @@
+"""Record, table and record-pair abstractions.
+
+An ER workload compares records drawn from one or two tables.  A
+:class:`Record` is an immutable mapping from attribute names to values (strings,
+numbers, or ``None`` for missing values).  A :class:`Table` is an ordered
+collection of records sharing a :class:`~repro.data.schema.Schema`.  A
+:class:`RecordPair` is the unit of classification and of risk analysis: two
+records plus an optional ground-truth label and an optional machine label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from ..exceptions import DataError, SchemaError
+from .schema import Schema
+
+#: Label value used for a matching / equivalent pair.
+MATCH = 1
+#: Label value used for an unmatching / inequivalent pair.
+UNMATCH = 0
+
+
+@dataclass(frozen=True)
+class Record:
+    """A single record (row) of an ER table.
+
+    Parameters
+    ----------
+    record_id:
+        Identifier unique within the record's source table.
+    values:
+        Mapping from attribute name to value.  Missing values are ``None``.
+    source:
+        Name of the table the record comes from (e.g. ``"dblp"``).
+    """
+
+    record_id: str
+    values: Mapping[str, Any]
+    source: str = ""
+
+    def __getitem__(self, attribute: str) -> Any:
+        return self.values.get(attribute)
+
+    def get(self, attribute: str, default: Any = None) -> Any:
+        """Return the value at ``attribute`` or ``default`` when missing."""
+        value = self.values.get(attribute, default)
+        return default if value is None else value
+
+    def is_missing(self, attribute: str) -> bool:
+        """Return ``True`` when the record has no usable value at ``attribute``."""
+        value = self.values.get(attribute)
+        return value is None or (isinstance(value, str) and not value.strip())
+
+    def as_dict(self) -> dict[str, Any]:
+        """Return a plain ``dict`` copy of the record values."""
+        return dict(self.values)
+
+
+class Table:
+    """An ordered collection of :class:`Record` objects with a shared schema."""
+
+    def __init__(self, name: str, schema: Schema, records: Iterable[Record] = ()) -> None:
+        self.name = name
+        self.schema = schema
+        self._records: list[Record] = []
+        self._by_id: dict[str, Record] = {}
+        for record in records:
+            self.add(record)
+
+    def add(self, record: Record) -> None:
+        """Append ``record`` to the table, validating its attributes."""
+        unknown = set(record.values) - set(self.schema.names)
+        if unknown:
+            raise SchemaError(
+                f"record {record.record_id!r} has attributes {sorted(unknown)} "
+                f"not present in schema of table {self.name!r}"
+            )
+        if record.record_id in self._by_id:
+            raise DataError(f"duplicate record id {record.record_id!r} in table {self.name!r}")
+        self._records.append(record)
+        self._by_id[record.record_id] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def __getitem__(self, record_id: str) -> Record:
+        try:
+            return self._by_id[record_id]
+        except KeyError as exc:
+            raise DataError(f"unknown record id {record_id!r} in table {self.name!r}") from exc
+
+    def __contains__(self, record_id: object) -> bool:
+        return record_id in self._by_id
+
+    @property
+    def record_ids(self) -> tuple[str, ...]:
+        """All record ids in insertion order."""
+        return tuple(record.record_id for record in self._records)
+
+    def column(self, attribute: str) -> list[Any]:
+        """Return the values of ``attribute`` for every record, in order."""
+        if attribute not in self.schema:
+            raise SchemaError(f"unknown attribute {attribute!r} in table {self.name!r}")
+        return [record[attribute] for record in self._records]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Table(name={self.name!r}, records={len(self)}, attributes={self.schema.names})"
+
+
+@dataclass(frozen=True)
+class RecordPair:
+    """A candidate pair of records, the unit of ER classification and risk analysis.
+
+    Parameters
+    ----------
+    left, right:
+        The two records being compared.
+    ground_truth:
+        ``MATCH``/``UNMATCH`` when the true equivalence status is known,
+        ``None`` otherwise.
+    machine_label:
+        The label assigned by the ER classifier, if any.
+    machine_probability:
+        The classifier's estimated equivalence probability, if any.
+    """
+
+    left: Record
+    right: Record
+    ground_truth: int | None = None
+    machine_label: int | None = None
+    machine_probability: float | None = None
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def pair_id(self) -> tuple[str, str]:
+        """The ``(left id, right id)`` identifier of the pair."""
+        return (self.left.record_id, self.right.record_id)
+
+    def is_equivalent(self) -> bool:
+        """Return ``True`` if the pair's ground truth is a match.
+
+        Raises
+        ------
+        DataError
+            If the ground truth is unknown.
+        """
+        if self.ground_truth is None:
+            raise DataError(f"pair {self.pair_id} has no ground truth")
+        return self.ground_truth == MATCH
+
+    def is_mislabeled(self) -> bool:
+        """Return ``True`` when the machine label disagrees with the ground truth."""
+        if self.ground_truth is None or self.machine_label is None:
+            raise DataError(f"pair {self.pair_id} lacks ground truth or machine label")
+        return self.ground_truth != self.machine_label
+
+    def with_prediction(self, label: int, probability: float) -> "RecordPair":
+        """Return a copy of the pair annotated with a classifier prediction."""
+        return RecordPair(
+            left=self.left,
+            right=self.right,
+            ground_truth=self.ground_truth,
+            machine_label=label,
+            machine_probability=probability,
+            metadata=self.metadata,
+        )
+
+    def values(self, attribute: str) -> tuple[Any, Any]:
+        """Return the pair's two values at ``attribute`` as ``(left, right)``."""
+        return (self.left[attribute], self.right[attribute])
+
+
+def pairs_from_ids(
+    left_table: Table,
+    right_table: Table,
+    id_pairs: Sequence[tuple[str, str]],
+    matches: Iterable[tuple[str, str]] = (),
+) -> list[RecordPair]:
+    """Materialise :class:`RecordPair` objects from id pairs.
+
+    Parameters
+    ----------
+    left_table, right_table:
+        The source tables.
+    id_pairs:
+        Candidate ``(left_id, right_id)`` pairs, typically produced by blocking.
+    matches:
+        The ground-truth set of equivalent ``(left_id, right_id)`` pairs; every
+        candidate pair found in this set is labeled ``MATCH``, all others
+        ``UNMATCH``.
+    """
+    match_set = set(matches)
+    pairs = []
+    for left_id, right_id in id_pairs:
+        truth = MATCH if (left_id, right_id) in match_set else UNMATCH
+        pairs.append(RecordPair(left_table[left_id], right_table[right_id], ground_truth=truth))
+    return pairs

@@ -1,0 +1,130 @@
+"""Attribute typing for ER tables.
+
+The paper (Section 5.1, Figure 5) organises its difference metrics by the kind
+of string stored in an attribute: an *entity name* (a short proper name such as
+a venue or a manufacturer), an *entity set* (a delimited list of names such as
+an author list), or a *text description* (a longer free-text field such as a
+paper title or a product description).  Numeric and categorical attributes are
+compared directly.
+
+This module defines those attribute types and a small :class:`Schema` object
+that maps attribute names to types.  Every synthetic dataset generator and the
+feature/metric registry use the schema to decide which similarity and
+difference metrics apply to which attribute.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from ..exceptions import SchemaError
+
+
+class AttributeType(enum.Enum):
+    """The kind of value stored in an attribute.
+
+    The type drives metric selection (see :mod:`repro.features.metric_registry`):
+
+    * ``ENTITY_NAME`` — short proper names (venue, manufacturer, artist).
+    * ``ENTITY_SET`` — delimiter-separated lists of names (author lists).
+    * ``TEXT`` — longer free-text descriptions (titles, product descriptions).
+    * ``NUMERIC`` — numbers (year, price, duration).
+    * ``CATEGORICAL`` — small closed vocabularies (category, genre).
+    """
+
+    ENTITY_NAME = "entity_name"
+    ENTITY_SET = "entity_set"
+    TEXT = "text"
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+
+
+#: Attribute types whose raw values are strings.
+STRING_TYPES = frozenset(
+    {AttributeType.ENTITY_NAME, AttributeType.ENTITY_SET, AttributeType.TEXT,
+     AttributeType.CATEGORICAL}
+)
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single column of an ER table.
+
+    Parameters
+    ----------
+    name:
+        The column name, unique within a schema.
+    attr_type:
+        The :class:`AttributeType` of the column.
+    separator:
+        For ``ENTITY_SET`` attributes, the delimiter between entity names.
+    """
+
+    name: str
+    attr_type: AttributeType
+    separator: str = ","
+
+    def is_string(self) -> bool:
+        """Return ``True`` if this attribute holds string values."""
+        return self.attr_type in STRING_TYPES
+
+    def is_numeric(self) -> bool:
+        """Return ``True`` if this attribute holds numeric values."""
+        return self.attr_type is AttributeType.NUMERIC
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of :class:`Attribute` objects.
+
+    A schema is shared by the two tables of an ER workload (after aligning
+    attribute names, as the benchmark datasets used in the paper do).
+    """
+
+    attributes: tuple[Attribute, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [attribute.name for attribute in self.attributes]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"duplicate attribute names in schema: {names}")
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, AttributeType]) -> "Schema":
+        """Build a schema from an ``{attribute name: type}`` mapping."""
+        return cls(tuple(Attribute(name, attr_type) for name, attr_type in mapping.items()))
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """The attribute names, in declaration order."""
+        return tuple(attribute.name for attribute in self.attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return any(attribute.name == name for attribute in self.attributes)
+
+    def __getitem__(self, name: str) -> Attribute:
+        for attribute in self.attributes:
+            if attribute.name == name:
+                return attribute
+        raise SchemaError(f"unknown attribute {name!r}; schema has {self.names}")
+
+    def get(self, name: str, default: Attribute | None = None) -> Attribute | None:
+        """Return the attribute called ``name`` or ``default`` if absent."""
+        if name in self:
+            return self[name]
+        return default
+
+    def subset(self, names: Iterable[str]) -> "Schema":
+        """Return a new schema restricted to ``names`` (in the given order)."""
+        return Schema(tuple(self[name] for name in names))
+
+    def of_type(self, attr_type: AttributeType) -> tuple[Attribute, ...]:
+        """Return all attributes with the given type."""
+        return tuple(a for a in self.attributes if a.attr_type is attr_type)

@@ -1,0 +1,157 @@
+"""Word pools used by the synthetic dataset generators.
+
+The pools are intentionally plain Python lists so the generators stay fully
+deterministic given a seed, and large enough that titles, author lists and
+product names exhibit the token diversity rule generation needs (rare
+"discriminating" tokens, shared common tokens, plausible abbreviations).
+"""
+
+from __future__ import annotations
+
+SURNAMES: tuple[str, ...] = (
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
+    "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson",
+    "Thomas", "Taylor", "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson",
+    "White", "Harris", "Sanchez", "Clark", "Ramirez", "Lewis", "Robinson", "Walker",
+    "Young", "Allen", "King", "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores",
+    "Green", "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts", "Kriegel", "Schneider", "Seeger", "Brinkhoff", "Widom",
+    "Ullman", "Stonebraker", "Gray", "Codd", "Abiteboul", "Halevy", "Naughton",
+    "Dewitt", "Garcia-Molina", "Chaudhuri", "Dayal", "Bernstein", "Franklin",
+    "Hellerstein", "Madden", "Zaharia", "Dean", "Ghemawat", "Lamport", "Liskov",
+)
+
+FIRST_INITIALS: tuple[str, ...] = tuple("ABCDEFGHIJKLMNOPQRSTUVWYZ")
+
+FIRST_NAMES: tuple[str, ...] = (
+    "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael", "Linda",
+    "David", "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph",
+    "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Wei", "Li", "Ming", "Jun",
+    "Hao", "Yan", "Ananya", "Ravi", "Priya", "Hiroshi", "Yuki", "Stefan", "Anna",
+    "Pierre", "Marie", "Hans", "Greta", "Carlos", "Lucia", "Ahmed", "Fatima",
+)
+
+RESEARCH_TOPICS: tuple[str, ...] = (
+    "query", "optimization", "indexing", "transactions", "concurrency", "recovery",
+    "distributed", "parallel", "streaming", "approximate", "adaptive", "learned",
+    "spatial", "temporal", "graph", "relational", "columnar", "in-memory",
+    "probabilistic", "uncertain", "crowdsourced", "interactive", "scalable",
+    "incremental", "declarative", "secure", "private", "federated", "versioned",
+    "semantic", "entity", "resolution", "integration", "cleaning", "deduplication",
+    "provenance", "sampling", "sketching", "partitioning", "replication",
+    "compression", "caching", "benchmarking", "visualization", "exploration",
+    "workload", "tuning", "estimation", "cardinality", "join", "aggregation",
+)
+
+RESEARCH_OBJECTS: tuple[str, ...] = (
+    "databases", "systems", "engines", "stores", "warehouses", "lakes", "indexes",
+    "algorithms", "frameworks", "pipelines", "architectures", "models", "queries",
+    "schemas", "catalogs", "logs", "views", "cubes", "tables", "records",
+)
+
+VENUES: tuple[str, ...] = (
+    "International Conference on Management of Data",
+    "International Conference on Very Large Data Bases",
+    "International Conference on Data Engineering",
+    "Symposium on Principles of Database Systems",
+    "Conference on Innovative Data Systems Research",
+    "International Conference on Extending Database Technology",
+    "ACM Transactions on Database Systems",
+    "IEEE Transactions on Knowledge and Data Engineering",
+    "The VLDB Journal",
+    "Information Systems",
+    "Knowledge and Information Systems",
+    "International Conference on Data Mining",
+    "Conference on Knowledge Discovery and Data Mining",
+    "International World Wide Web Conference",
+    "Conference on Information and Knowledge Management",
+)
+
+VENUE_ABBREVIATIONS: dict[str, str] = {
+    "International Conference on Management of Data": "SIGMOD",
+    "International Conference on Very Large Data Bases": "VLDB",
+    "International Conference on Data Engineering": "ICDE",
+    "Symposium on Principles of Database Systems": "PODS",
+    "Conference on Innovative Data Systems Research": "CIDR",
+    "International Conference on Extending Database Technology": "EDBT",
+    "ACM Transactions on Database Systems": "TODS",
+    "IEEE Transactions on Knowledge and Data Engineering": "TKDE",
+    "The VLDB Journal": "VLDBJ",
+    "Information Systems": "IS",
+    "Knowledge and Information Systems": "KAIS",
+    "International Conference on Data Mining": "ICDM",
+    "Conference on Knowledge Discovery and Data Mining": "KDD",
+    "International World Wide Web Conference": "WWW",
+    "Conference on Information and Knowledge Management": "CIKM",
+}
+
+PRODUCT_BRANDS: tuple[str, ...] = (
+    "Sony", "Samsung", "Panasonic", "Canon", "Nikon", "Bose", "JBL", "Philips",
+    "Toshiba", "Sharp", "Pioneer", "Kenwood", "Garmin", "Logitech", "Belkin",
+    "Netgear", "Linksys", "Sandisk", "Kingston", "Seagate", "Olympus", "Epson",
+    "Brother", "Lexmark", "Yamaha", "Denon", "Onkyo", "Vizio", "Westinghouse",
+    "Frigidaire", "Whirlpool", "Cuisinart", "KitchenAid", "Hamilton", "Oster",
+)
+
+PRODUCT_CATEGORIES: tuple[str, ...] = (
+    "Camera", "Camcorder", "Television", "Speaker", "Headphones", "Receiver",
+    "Projector", "Printer", "Scanner", "Router", "Monitor", "Keyboard", "Mouse",
+    "Microwave", "Refrigerator", "Dishwasher", "Blender", "Toaster", "Vacuum",
+    "Telephone", "Soundbar", "Subwoofer", "Turntable", "Radio", "Dock",
+)
+
+PRODUCT_QUALIFIERS: tuple[str, ...] = (
+    "Digital", "Wireless", "Portable", "Compact", "Professional", "Premium",
+    "Ultra", "Slim", "Smart", "HD", "4K", "Bluetooth", "Rechargeable", "Stainless",
+    "Black", "Silver", "White", "Red", "Blue", "Series", "Edition", "Home",
+)
+
+SOFTWARE_VENDORS: tuple[str, ...] = (
+    "Microsoft", "Adobe", "Symantec", "Intuit", "Corel", "McAfee", "Autodesk",
+    "Nuance", "Roxio", "Avanquest", "Encore", "Broderbund", "Sage", "Kaspersky",
+    "TrendMicro", "Nero", "Parallels", "VMware", "Quark", "Pinnacle",
+)
+
+SOFTWARE_PRODUCTS: tuple[str, ...] = (
+    "Office", "Photoshop", "Illustrator", "Acrobat", "Antivirus", "QuickBooks",
+    "Painter", "AutoCAD", "Dragon", "Creator", "Studio", "Suite", "Security",
+    "Backup", "Publisher", "Designer", "Accounting", "Premiere", "Elements",
+    "Works", "Manager", "Toolkit", "Converter", "Recovery", "Cleaner",
+)
+
+SOFTWARE_EDITIONS: tuple[str, ...] = (
+    "Standard", "Professional", "Home", "Premium", "Deluxe", "Ultimate", "Basic",
+    "Student", "Small Business", "Enterprise", "Upgrade", "Full Version",
+    "Academic", "OEM", "Retail",
+)
+
+SONG_WORDS: tuple[str, ...] = (
+    "love", "night", "heart", "dream", "fire", "rain", "dance", "light", "blue",
+    "summer", "river", "moon", "star", "road", "home", "freedom", "shadow",
+    "golden", "broken", "forever", "tonight", "yesterday", "morning", "midnight",
+    "angel", "devil", "storm", "ocean", "desert", "city", "train", "highway",
+    "whiskey", "roses", "thunder", "lightning", "wild", "lonely", "crazy", "sweet",
+)
+
+ARTIST_WORDS: tuple[str, ...] = (
+    "Crimson", "Velvet", "Electric", "Midnight", "Silver", "Golden", "Neon",
+    "Wandering", "Howling", "Silent", "Burning", "Frozen", "Rolling", "Flying",
+    "Broken", "Rising", "Falling", "Dancing", "Smiling", "Roaring",
+)
+
+ARTIST_NOUNS: tuple[str, ...] = (
+    "Foxes", "Wolves", "Riders", "Kings", "Queens", "Prophets", "Strangers",
+    "Brothers", "Sisters", "Ghosts", "Pilots", "Sailors", "Drifters", "Ramblers",
+    "Hearts", "Echoes", "Shadows", "Rebels", "Saints", "Outlaws",
+)
+
+GENRES: tuple[str, ...] = (
+    "Rock", "Pop", "Country", "Jazz", "Blues", "Folk", "Electronic", "Hip-Hop",
+    "Classical", "Reggae", "Soul", "Metal", "Indie", "Alternative",
+)
+
+ALBUM_WORDS: tuple[str, ...] = (
+    "Sessions", "Anthology", "Collection", "Live", "Unplugged", "Greatest Hits",
+    "Chronicles", "Stories", "Diaries", "Tapes", "Letters", "Postcards",
+    "Horizons", "Reflections", "Departures", "Arrivals", "Memoirs", "Echoes",
+)

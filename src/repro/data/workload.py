@@ -1,0 +1,208 @@
+"""ER workloads and train/validation/test splits.
+
+A :class:`Workload` is the set of candidate record pairs an ER solution must
+label, together with their ground truth.  The paper evaluates risk analysis
+under several split ratios of (classifier-training : validation : test); the
+validation part doubles as the risk-model training data (Section 4.3).  The
+:class:`WorkloadSplit` captures that three-way split, and
+:func:`split_workload` produces it deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, DataError
+from .records import MATCH, RecordPair, Table
+
+
+class Workload:
+    """A named collection of candidate pairs with ground truth.
+
+    Parameters
+    ----------
+    name:
+        Human-readable workload name (e.g. ``"DS"``).
+    pairs:
+        The candidate pairs.  Ground truth may be ``None`` for unlabeled pairs,
+        but most operations (splitting, evaluation) require it.
+    left_table, right_table:
+        The source tables, kept for provenance and statistics.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        pairs: Iterable[RecordPair],
+        left_table: Table | None = None,
+        right_table: Table | None = None,
+    ) -> None:
+        self.name = name
+        self.pairs: list[RecordPair] = list(pairs)
+        self.left_table = left_table
+        self.right_table = right_table
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[RecordPair]:
+        return iter(self.pairs)
+
+    def __getitem__(self, index: int) -> RecordPair:
+        return self.pairs[index]
+
+    @property
+    def num_matches(self) -> int:
+        """Number of ground-truth equivalent pairs in the workload."""
+        return sum(1 for pair in self.pairs if pair.ground_truth == MATCH)
+
+    @property
+    def num_attributes(self) -> int:
+        """Number of attributes in the (shared) schema, 0 when unknown."""
+        if self.left_table is not None:
+            return len(self.left_table.schema)
+        return 0
+
+    def match_rate(self) -> float:
+        """The fraction of candidate pairs that are ground-truth matches."""
+        if not self.pairs:
+            return 0.0
+        return self.num_matches / len(self.pairs)
+
+    def labels(self) -> np.ndarray:
+        """Return the ground-truth labels as an ``int`` array.
+
+        Raises
+        ------
+        DataError
+            If any pair has no ground truth.
+        """
+        labels = []
+        for pair in self.pairs:
+            if pair.ground_truth is None:
+                raise DataError(f"pair {pair.pair_id} has no ground truth")
+            labels.append(pair.ground_truth)
+        return np.asarray(labels, dtype=int)
+
+    def subset(self, indices: Sequence[int], name: str | None = None) -> "Workload":
+        """Return a new workload containing only the pairs at ``indices``."""
+        selected = [self.pairs[i] for i in indices]
+        return Workload(name or self.name, selected, self.left_table, self.right_table)
+
+    def filter(self, predicate: Callable[[RecordPair], bool], name: str | None = None) -> "Workload":
+        """Return a new workload with only the pairs satisfying ``predicate``."""
+        return Workload(
+            name or self.name,
+            [pair for pair in self.pairs if predicate(pair)],
+            self.left_table,
+            self.right_table,
+        )
+
+    def sample(self, size: int, seed: int = 0, name: str | None = None) -> "Workload":
+        """Return a uniformly random subset of ``size`` pairs (without replacement)."""
+        if size > len(self.pairs):
+            raise ConfigurationError(
+                f"cannot sample {size} pairs from a workload of {len(self.pairs)}"
+            )
+        rng = np.random.default_rng(seed)
+        indices = rng.choice(len(self.pairs), size=size, replace=False)
+        return self.subset(sorted(int(i) for i in indices), name=name)
+
+    def statistics(self) -> dict[str, int]:
+        """Return the Table-2 style statistics of the workload."""
+        return {
+            "size": len(self.pairs),
+            "matches": self.num_matches,
+            "attributes": self.num_attributes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Workload(name={self.name!r}, size={len(self)}, "
+            f"matches={self.num_matches}, attributes={self.num_attributes})"
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSplit:
+    """A (classifier-training, validation, test) split of a workload.
+
+    ``validation`` is also the risk-model training data, mirroring the paper's
+    experimental setup.
+    """
+
+    train: Workload
+    validation: Workload
+    test: Workload
+
+    @property
+    def ratio(self) -> tuple[float, float, float]:
+        """The realised split proportions."""
+        total = len(self.train) + len(self.validation) + len(self.test)
+        if total == 0:
+            return (0.0, 0.0, 0.0)
+        return (len(self.train) / total, len(self.validation) / total, len(self.test) / total)
+
+
+def split_workload(
+    workload: Workload,
+    ratio: tuple[float, float, float] = (3, 2, 5),
+    seed: int = 0,
+    stratified: bool = True,
+) -> WorkloadSplit:
+    """Split ``workload`` into train/validation/test parts.
+
+    Parameters
+    ----------
+    workload:
+        The workload to split.  Every pair must have ground truth when
+        ``stratified`` is requested.
+    ratio:
+        Relative sizes of the three parts, e.g. ``(3, 2, 5)`` for the paper's
+        3:2:5 setting.  The values need not sum to one.
+    seed:
+        Seed for the deterministic shuffle.
+    stratified:
+        When ``True`` the match/unmatch class proportions are preserved in each
+        part, which matters because ER workloads are heavily imbalanced.
+    """
+    if len(ratio) != 3 or any(part < 0 for part in ratio) or sum(ratio) <= 0:
+        raise ConfigurationError(f"invalid split ratio {ratio!r}")
+    rng = np.random.default_rng(seed)
+    total = float(sum(ratio))
+    fractions = (ratio[0] / total, ratio[1] / total)
+
+    def _split_indices(indices: np.ndarray) -> tuple[list[int], list[int], list[int]]:
+        shuffled = indices.copy()
+        rng.shuffle(shuffled)
+        n = len(shuffled)
+        n_train = int(round(n * fractions[0]))
+        n_validation = int(round(n * fractions[1]))
+        train_part = shuffled[:n_train]
+        validation_part = shuffled[n_train:n_train + n_validation]
+        test_part = shuffled[n_train + n_validation:]
+        return (list(map(int, train_part)), list(map(int, validation_part)), list(map(int, test_part)))
+
+    all_indices = np.arange(len(workload))
+    if stratified:
+        labels = workload.labels()
+        train_idx: list[int] = []
+        validation_idx: list[int] = []
+        test_idx: list[int] = []
+        for label in (0, 1):
+            class_indices = all_indices[labels == label]
+            part_train, part_validation, part_test = _split_indices(class_indices)
+            train_idx.extend(part_train)
+            validation_idx.extend(part_validation)
+            test_idx.extend(part_test)
+    else:
+        train_idx, validation_idx, test_idx = _split_indices(all_indices)
+
+    return WorkloadSplit(
+        train=workload.subset(sorted(train_idx), name=f"{workload.name}-train"),
+        validation=workload.subset(sorted(validation_idx), name=f"{workload.name}-validation"),
+        test=workload.subset(sorted(test_idx), name=f"{workload.name}-test"),
+    )

@@ -1,0 +1,108 @@
+"""Classification quality metrics for the ER classifiers.
+
+These are the standard binary-classification metrics used in Section 8's
+active-learning experiment (F1 of the matcher) and in diagnostics: confusion
+counts, precision, recall, F1 and accuracy.  Implemented from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DataError
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Binary confusion counts (positives are ground-truth matches)."""
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positives + self.false_positives
+            + self.true_negatives + self.false_negatives
+        )
+
+    def precision(self) -> float:
+        """Precision of the positive (matching) class."""
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    def recall(self) -> float:
+        """Recall of the positive (matching) class."""
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    def f1(self) -> float:
+        """F1 of the positive (matching) class."""
+        precision = self.precision()
+        recall = self.recall()
+        if precision + recall == 0.0:
+            return 0.0
+        return 2.0 * precision * recall / (precision + recall)
+
+    def accuracy(self) -> float:
+        """Overall label accuracy."""
+        if self.total == 0:
+            return 0.0
+        return (self.true_positives + self.true_negatives) / self.total
+
+    def mislabel_rate(self) -> float:
+        """Fraction of pairs mislabeled by the classifier (the risk-analysis positives)."""
+        if self.total == 0:
+            return 0.0
+        return (self.false_positives + self.false_negatives) / self.total
+
+
+def confusion_matrix(ground_truth: np.ndarray, predictions: np.ndarray) -> ConfusionMatrix:
+    """Build the binary confusion matrix of ``predictions`` against ``ground_truth``."""
+    ground_truth = np.asarray(ground_truth, dtype=int)
+    predictions = np.asarray(predictions, dtype=int)
+    if ground_truth.shape != predictions.shape:
+        raise DataError("ground truth and predictions must have the same shape")
+    true_positives = int(np.sum((ground_truth == 1) & (predictions == 1)))
+    false_positives = int(np.sum((ground_truth == 0) & (predictions == 1)))
+    true_negatives = int(np.sum((ground_truth == 0) & (predictions == 0)))
+    false_negatives = int(np.sum((ground_truth == 1) & (predictions == 0)))
+    return ConfusionMatrix(true_positives, false_positives, true_negatives, false_negatives)
+
+
+def precision_score(ground_truth: np.ndarray, predictions: np.ndarray) -> float:
+    """Precision of the matching class."""
+    return confusion_matrix(ground_truth, predictions).precision()
+
+
+def recall_score(ground_truth: np.ndarray, predictions: np.ndarray) -> float:
+    """Recall of the matching class."""
+    return confusion_matrix(ground_truth, predictions).recall()
+
+
+def f1_score(ground_truth: np.ndarray, predictions: np.ndarray) -> float:
+    """F1 of the matching class (the matcher quality metric of Figure 14)."""
+    return confusion_matrix(ground_truth, predictions).f1()
+
+
+def recall_at_budget(risk_labels: np.ndarray, risk_scores: np.ndarray, budget: int) -> float:
+    """Fraction of mislabeled pairs found when inspecting the ``budget`` riskiest pairs.
+
+    This is the operational payoff of risk analysis (machine + human
+    collaboration): how many of the classifier's mistakes a human verifier
+    catches by checking only the highest-risk pairs.
+    """
+    risk_labels = np.asarray(risk_labels, dtype=int)
+    risk_scores = np.asarray(risk_scores, dtype=float)
+    if risk_labels.shape != risk_scores.shape:
+        raise DataError("risk labels and scores must have the same shape")
+    total_mislabeled = int(risk_labels.sum())
+    if total_mislabeled == 0:
+        return 1.0
+    budget = max(0, min(budget, len(risk_labels)))
+    top = np.argsort(-risk_scores, kind="stable")[:budget]
+    return float(risk_labels[top].sum() / total_mislabeled)

@@ -1,0 +1,21 @@
+"""Basic metric registry and pair vectorisation."""
+
+from .metric_registry import (
+    DIFFERENCE,
+    SIMILARITY,
+    MetricSpec,
+    count_metrics,
+    metrics_for_attribute,
+    metrics_for_schema,
+)
+from .vectorizer import PairVectorizer
+
+__all__ = [
+    "DIFFERENCE",
+    "MetricSpec",
+    "PairVectorizer",
+    "SIMILARITY",
+    "count_metrics",
+    "metrics_for_attribute",
+    "metrics_for_schema",
+]

@@ -1,0 +1,170 @@
+"""Basic metric design (Section 5.1, Figure 5).
+
+The rule-generation algorithm and the ER classifiers both consume a *metric
+vector* per candidate pair: one value per (attribute, metric) combination.
+Which metrics apply to an attribute depends on its
+:class:`~repro.data.schema.AttributeType`, following the paper's hierarchy:
+
+* every string attribute gets a core set of similarity metrics;
+* entity names additionally get the non-substring / non-prefix / non-suffix
+  difference metrics and their abbreviation variants;
+* entity sets get entity-level Jaccard plus diff-cardinality / distinct-entity;
+* text descriptions get TF-IDF cosine plus diff-key-token;
+* numeric attributes get relative similarity, equality and the inequality /
+  relative-difference metrics.
+
+Each metric is wrapped in a :class:`MetricSpec` carrying a ``kind`` tag
+(``"similarity"`` or ``"difference"``) so that downstream consumers (e.g. the
+experiment setup that reports "19 basic metrics of which 8 are diff metrics")
+can count and filter them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..data.schema import Attribute, AttributeType, Schema
+from ..text import difference, similarity
+
+#: A metric takes the two attribute values and an optional context dict
+#: (currently only ``idf``) and returns a float.
+MetricFunction = Callable[[object, object, dict], float]
+
+SIMILARITY = "similarity"
+DIFFERENCE = "difference"
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """A single basic metric bound to an attribute.
+
+    Parameters
+    ----------
+    attribute:
+        The attribute name the metric compares.
+    metric:
+        The metric's short name (``"jaccard"``, ``"non_substring"``, ...).
+    kind:
+        Either ``"similarity"`` or ``"difference"``.
+    function:
+        The callable computing the metric value.
+    """
+
+    attribute: str
+    metric: str
+    kind: str
+    function: MetricFunction
+
+    @property
+    def name(self) -> str:
+        """Qualified metric name, e.g. ``"title.jaccard"``."""
+        return f"{self.attribute}.{self.metric}"
+
+    def __call__(self, left_value: object, right_value: object, context: dict | None = None) -> float:
+        return float(self.function(left_value, right_value, context or {}))
+
+
+def _wrap_simple(function: Callable[[object, object], float]) -> MetricFunction:
+    """Adapt a two-argument metric to the three-argument metric interface."""
+
+    def wrapped(left_value: object, right_value: object, context: dict) -> float:
+        return function(left_value, right_value)
+
+    return wrapped
+
+
+def _wrap_idf(function: Callable[..., float]) -> MetricFunction:
+    """Adapt a metric that accepts an ``idf`` keyword to the metric interface."""
+
+    def wrapped(left_value: object, right_value: object, context: dict) -> float:
+        return function(left_value, right_value, idf=context.get("idf"))
+
+    return wrapped
+
+
+def _wrap_separator(function: Callable[..., float], separator: str) -> MetricFunction:
+    """Bind an entity-set metric to the attribute's separator."""
+
+    def wrapped(left_value: object, right_value: object, context: dict) -> float:
+        return function(left_value, right_value, separator=separator)
+
+    return wrapped
+
+
+_CORE_STRING_SIMILARITIES: tuple[tuple[str, Callable[[object, object], float]], ...] = (
+    ("jaccard", similarity.jaccard_similarity),
+    ("edit", similarity.edit_similarity),
+    ("jaro_winkler", similarity.jaro_winkler_similarity),
+    ("overlap", similarity.overlap_coefficient),
+)
+
+
+def metrics_for_attribute(attribute: Attribute) -> list[MetricSpec]:
+    """Return the basic metrics applicable to ``attribute``."""
+    specs: list[MetricSpec] = []
+    add = specs.append
+
+    if attribute.attr_type is AttributeType.NUMERIC:
+        add(MetricSpec(attribute.name, "numeric_similarity", SIMILARITY,
+                       _wrap_simple(similarity.numeric_similarity)))
+        # Exact numeric (in)equality is treated as *difference* knowledge: a
+        # text-embedding matcher sees "1998" and "1999" as near-identical
+        # tokens, so exact-equality signals belong to the rule side only.
+        add(MetricSpec(attribute.name, "numeric_inequality", DIFFERENCE,
+                       _wrap_simple(difference.numeric_inequality)))
+        add(MetricSpec(attribute.name, "numeric_difference", DIFFERENCE,
+                       _wrap_simple(difference.numeric_difference)))
+        return specs
+
+    if attribute.attr_type is AttributeType.CATEGORICAL:
+        add(MetricSpec(attribute.name, "exact", SIMILARITY, _wrap_simple(similarity.exact_match)))
+        add(MetricSpec(attribute.name, "edit", SIMILARITY, _wrap_simple(similarity.edit_similarity)))
+        return specs
+
+    for metric_name, function in _CORE_STRING_SIMILARITIES:
+        add(MetricSpec(attribute.name, metric_name, SIMILARITY, _wrap_simple(function)))
+
+    if attribute.attr_type is AttributeType.ENTITY_NAME:
+        add(MetricSpec(attribute.name, "lcs", SIMILARITY, _wrap_simple(similarity.lcs_similarity)))
+        add(MetricSpec(attribute.name, "non_substring", DIFFERENCE,
+                       _wrap_simple(difference.non_substring)))
+        add(MetricSpec(attribute.name, "non_prefix", DIFFERENCE,
+                       _wrap_simple(difference.non_prefix)))
+        add(MetricSpec(attribute.name, "abbr_non_substring", DIFFERENCE,
+                       _wrap_simple(difference.abbr_non_substring)))
+        add(MetricSpec(attribute.name, "abbr_non_prefix", DIFFERENCE,
+                       _wrap_simple(difference.abbr_non_prefix)))
+    elif attribute.attr_type is AttributeType.ENTITY_SET:
+        add(MetricSpec(attribute.name, "entity_jaccard", SIMILARITY,
+                       _wrap_separator(similarity.entity_jaccard_similarity, attribute.separator)))
+        add(MetricSpec(attribute.name, "monge_elkan", SIMILARITY,
+                       _wrap_simple(similarity.monge_elkan_similarity)))
+        add(MetricSpec(attribute.name, "diff_cardinality", DIFFERENCE,
+                       _wrap_separator(difference.diff_cardinality, attribute.separator)))
+        add(MetricSpec(attribute.name, "distinct_entity", DIFFERENCE,
+                       _wrap_separator(difference.distinct_entity_fraction, attribute.separator)))
+    elif attribute.attr_type is AttributeType.TEXT:
+        add(MetricSpec(attribute.name, "cosine_tfidf", SIMILARITY,
+                       _wrap_idf(similarity.cosine_tfidf_similarity)))
+        add(MetricSpec(attribute.name, "lcs", SIMILARITY, _wrap_simple(similarity.lcs_similarity)))
+        add(MetricSpec(attribute.name, "diff_key_token", DIFFERENCE,
+                       _wrap_idf(difference.diff_key_token_fraction)))
+    return specs
+
+
+def metrics_for_schema(schema: Schema) -> list[MetricSpec]:
+    """Return the full list of basic metrics for every attribute of ``schema``."""
+    specs: list[MetricSpec] = []
+    for attribute in schema:
+        specs.extend(metrics_for_attribute(attribute))
+    return specs
+
+
+def count_metrics(specs: list[MetricSpec]) -> dict[str, int]:
+    """Count the metrics by kind (reported in the paper's experimental setup)."""
+    return {
+        "total": len(specs),
+        SIMILARITY: sum(1 for spec in specs if spec.kind == SIMILARITY),
+        DIFFERENCE: sum(1 for spec in specs if spec.kind == DIFFERENCE),
+    }

@@ -1,0 +1,110 @@
+"""Pair vectorisation: candidate pairs → metric matrices.
+
+The :class:`PairVectorizer` turns a workload's candidate pairs into a dense
+``(n_pairs, n_metrics)`` numpy matrix, one column per
+:class:`~repro.features.metric_registry.MetricSpec`.  This matrix is the shared
+substrate of the whole system:
+
+* the ER classifiers (our DeepMatcher substitute) train on it;
+* the one-sided decision trees that generate risk features split on it;
+* the TrustScore baseline measures distances in it.
+
+The vectoriser is *fitted* on the two source tables so that corpus-level
+statistics (currently the per-attribute IDF tables used by TF-IDF cosine and
+diff-key-token) come from the data rather than from the pairs being scored.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..data.records import RecordPair, Table
+from ..data.schema import AttributeType, Schema
+from ..data.workload import Workload
+from ..exceptions import NotFittedError
+from ..text.tokenize import idf_weights
+from .metric_registry import MetricSpec, metrics_for_schema
+
+
+class PairVectorizer:
+    """Compute the basic-metric feature matrix of candidate pairs.
+
+    Parameters
+    ----------
+    schema:
+        The shared schema of the two tables.
+    metrics:
+        Explicit metric specs; by default all metrics applicable to the schema.
+    """
+
+    def __init__(self, schema: Schema, metrics: Sequence[MetricSpec] | None = None) -> None:
+        self.schema = schema
+        self.metrics: list[MetricSpec] = list(metrics) if metrics is not None else metrics_for_schema(schema)
+        self._idf_by_attribute: dict[str, dict[str, float]] | None = None
+
+    @property
+    def feature_names(self) -> list[str]:
+        """Qualified metric names, one per output column."""
+        return [spec.name for spec in self.metrics]
+
+    @property
+    def n_features(self) -> int:
+        """Number of output columns."""
+        return len(self.metrics)
+
+    def fit(self, left_table: Table | None, right_table: Table | None) -> "PairVectorizer":
+        """Fit corpus statistics (IDF tables) from the source tables.
+
+        Passing ``None`` tables is allowed; IDF-aware metrics then fall back to
+        their uninformed defaults.
+        """
+        idf_by_attribute: dict[str, dict[str, float]] = {}
+        for attribute in self.schema:
+            if attribute.attr_type is not AttributeType.TEXT:
+                continue
+            documents: list[str | None] = []
+            for table in (left_table, right_table):
+                if table is None:
+                    continue
+                documents.extend(table.column(attribute.name))
+            idf_by_attribute[attribute.name] = idf_weights(documents)
+        self._idf_by_attribute = idf_by_attribute
+        return self
+
+    def fit_workload(self, workload: Workload) -> "PairVectorizer":
+        """Convenience wrapper fitting from a workload's source tables."""
+        return self.fit(workload.left_table, workload.right_table)
+
+    def _context_for(self, spec: MetricSpec) -> dict:
+        idf_tables = self._idf_by_attribute or {}
+        return {"idf": idf_tables.get(spec.attribute)}
+
+    def transform_pair(self, pair: RecordPair) -> np.ndarray:
+        """Return the metric vector of a single pair."""
+        if self._idf_by_attribute is None:
+            raise NotFittedError("PairVectorizer.transform called before fit")
+        vector = np.empty(len(self.metrics), dtype=float)
+        for index, spec in enumerate(self.metrics):
+            left_value, right_value = pair.values(spec.attribute)
+            vector[index] = spec(left_value, right_value, self._context_for(spec))
+        return vector
+
+    def transform(self, pairs: Iterable[RecordPair]) -> np.ndarray:
+        """Return the ``(n_pairs, n_metrics)`` matrix for ``pairs``."""
+        rows = [self.transform_pair(pair) for pair in pairs]
+        if not rows:
+            return np.zeros((0, len(self.metrics)), dtype=float)
+        return np.vstack(rows)
+
+    def fit_transform(self, workload: Workload) -> np.ndarray:
+        """Fit on the workload's tables and transform its pairs in one call."""
+        return self.fit_workload(workload).transform(workload.pairs)
+
+    def metric_index(self, name: str) -> int:
+        """Return the column index of the metric with qualified name ``name``."""
+        try:
+            return self.feature_names.index(name)
+        except ValueError as exc:
+            raise KeyError(f"unknown metric {name!r}") from exc

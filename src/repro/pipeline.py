@@ -1,0 +1,182 @@
+"""High-level workload-oriented API.
+
+:class:`LearnRiskPipeline` wraps the full LearnRisk workflow — vectorisation,
+classifier training, risk-feature generation, risk-model training and scoring —
+behind a small sklearn-style interface operating directly on
+:class:`~repro.data.workload.Workload` objects.  It is the entry point the
+examples and most downstream users interact with; the lower-level pieces remain
+available for custom setups.
+
+Example
+-------
+>>> from repro.data import load_dataset, split_workload
+>>> from repro.pipeline import LearnRiskPipeline
+>>> workload = load_dataset("DS", scale=0.3)
+>>> split = split_workload(workload, ratio=(3, 2, 5), seed=0)
+>>> pipeline = LearnRiskPipeline()
+>>> pipeline.fit(split.train, split.validation)
+LearnRiskPipeline(...)
+>>> report = pipeline.analyse(split.test)
+>>> report.auroc  # doctest: +SKIP
+0.95
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .classifiers.base import BaseClassifier
+from .data.records import RecordPair
+from .data.workload import Workload
+from .evaluation.experiment import default_classifier_factory
+from .evaluation.roc import auroc_score, mislabel_indicator
+from .exceptions import NotFittedError
+from .features.vectorizer import PairVectorizer
+from .risk.feature_generation import GeneratedRiskFeatures, RiskFeatureGenerator
+from .risk.model import FeatureExplanation, LearnRiskModel
+from .risk.onesided_tree import OneSidedTreeConfig
+from .risk.training import TrainingConfig
+
+
+@dataclass
+class RiskReport:
+    """The outcome of analysing a workload with a fitted pipeline."""
+
+    pairs: list[RecordPair]
+    machine_probabilities: np.ndarray
+    machine_labels: np.ndarray
+    risk_scores: np.ndarray
+    ranking: np.ndarray
+    auroc: float | None = None
+    explanations: dict[int, list[FeatureExplanation]] = field(default_factory=dict)
+
+    def top_risky(self, k: int = 10) -> list[tuple[RecordPair, float]]:
+        """The ``k`` riskiest pairs with their scores, most risky first."""
+        top = self.ranking[:k]
+        return [(self.pairs[int(index)], float(self.risk_scores[int(index)])) for index in top]
+
+
+class LearnRiskPipeline:
+    """End-to-end LearnRisk: classifier + risk features + learnable risk model.
+
+    Parameters
+    ----------
+    classifier:
+        The machine classifier; defaults to the MLP DeepMatcher substitute.
+    tree_config:
+        One-sided rule-generation configuration.
+    training_config:
+        Risk-model training configuration (VaR confidence, epochs, ...).
+    risk_metric:
+        ``"var"`` (default), ``"cvar"`` or ``"expectation"``.
+    seed:
+        Seed forwarded to the default classifier.
+    """
+
+    def __init__(
+        self,
+        classifier: BaseClassifier | None = None,
+        tree_config: OneSidedTreeConfig | None = None,
+        training_config: TrainingConfig | None = None,
+        risk_metric: str = "var",
+        seed: int = 0,
+    ) -> None:
+        self.classifier = classifier or default_classifier_factory(seed)
+        self.tree_config = tree_config
+        self.training_config = training_config or TrainingConfig()
+        self.risk_metric = risk_metric
+        self.seed = seed
+        self.vectorizer: PairVectorizer | None = None
+        self.risk_features: GeneratedRiskFeatures | None = None
+        self.risk_model: LearnRiskModel | None = None
+        self._fitted = False
+
+    # ------------------------------------------------------------------- fit
+    def fit(self, train: Workload, validation: Workload) -> "LearnRiskPipeline":
+        """Train the classifier on ``train`` and the risk model on ``validation``."""
+        self.vectorizer = PairVectorizer(train.left_table.schema)
+        self.vectorizer.fit(train.left_table, train.right_table)
+
+        train_features = self.vectorizer.transform(train.pairs)
+        train_labels = train.labels()
+        self.classifier.fit(train_features, train_labels)
+
+        generator = RiskFeatureGenerator(tree_config=self.tree_config)
+        self.risk_features = generator.generate(train, vectorizer=self.vectorizer)
+        self.risk_model = LearnRiskModel(
+            self.risk_features, config=self.training_config, risk_metric=self.risk_metric
+        )
+
+        validation_features = self.vectorizer.transform(validation.pairs)
+        validation_probabilities = self.classifier.predict_proba(validation_features)
+        validation_machine_labels = (validation_probabilities >= 0.5).astype(int)
+        self.risk_model.fit(
+            validation_features,
+            validation_probabilities,
+            validation_machine_labels,
+            validation.labels(),
+        )
+        self._fitted = True
+        return self
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError("LearnRiskPipeline is not fitted yet")
+
+    # ----------------------------------------------------------------- label
+    def label(self, workload: Workload) -> tuple[np.ndarray, np.ndarray]:
+        """Label a workload with the classifier: ``(probabilities, hard labels)``."""
+        self._check_fitted()
+        features = self.vectorizer.transform(workload.pairs)
+        probabilities = self.classifier.predict_proba(features)
+        return probabilities, (probabilities >= 0.5).astype(int)
+
+    # --------------------------------------------------------------- analyse
+    def analyse(
+        self, workload: Workload, explain_top: int = 0
+    ) -> RiskReport:
+        """Label ``workload`` and rank its pairs by mislabeling risk.
+
+        When the workload carries ground truth the report includes the AUROC
+        of the risk ranking; ``explain_top`` attaches rule-level explanations
+        for the given number of riskiest pairs.
+        """
+        self._check_fitted()
+        features = self.vectorizer.transform(workload.pairs)
+        probabilities = self.classifier.predict_proba(features)
+        machine_labels = (probabilities >= 0.5).astype(int)
+        risk_scores = self.risk_model.score(features, probabilities, machine_labels)
+        ranking = np.argsort(-risk_scores, kind="stable")
+
+        auroc = None
+        try:
+            ground_truth = workload.labels()
+            risk_labels = mislabel_indicator(machine_labels, ground_truth)
+            if 0 < risk_labels.sum() < len(risk_labels):
+                auroc = auroc_score(risk_labels, risk_scores)
+        except Exception:
+            auroc = None
+
+        explanations: dict[int, list[FeatureExplanation]] = {}
+        for index in ranking[:explain_top]:
+            explanations[int(index)] = self.risk_model.explain(
+                features[int(index)], float(probabilities[int(index)])
+            )
+        return RiskReport(
+            pairs=list(workload.pairs),
+            machine_probabilities=probabilities,
+            machine_labels=machine_labels,
+            risk_scores=risk_scores,
+            ranking=ranking,
+            auroc=auroc,
+            explanations=explanations,
+        )
+
+    def explain_pair(self, pair: RecordPair, top_k: int | None = None) -> list[FeatureExplanation]:
+        """Explain a single pair's risk in terms of the rules covering it."""
+        self._check_fitted()
+        features = self.vectorizer.transform([pair])
+        probability = float(self.classifier.predict_proba(features)[0])
+        return self.risk_model.explain(features[0], probability, top_k=top_k)

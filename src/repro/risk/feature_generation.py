@@ -1,0 +1,160 @@
+"""Automatic risk-feature generation (Section 5).
+
+The :class:`RiskFeatureGenerator` glues the pieces of Section 5 together:
+
+1. vectorise the rule-generation pairs with the basic metrics
+   (:class:`~repro.features.vectorizer.PairVectorizer`);
+2. grow a forest of one-sided decision trees
+   (:class:`~repro.risk.onesided_tree.OneSidedTreeBuilder`), once without class
+   weighting (yielding mostly unmatching rules) and once with a large matching
+   class weight (yielding matching rules), then validate all rules unweighted;
+3. deduplicate and drop redundant/low-coverage rules;
+4. estimate each rule's prior equivalence expectation on the classifier
+   training data (Section 6.2.1).
+
+The resulting :class:`GeneratedRiskFeatures` carries the rules plus the fitted
+vectoriser so that any workload can later be mapped onto the same rule space.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.records import MATCH
+from ..data.workload import Workload
+from ..exceptions import DataError
+from ..features.vectorizer import PairVectorizer
+from .onesided_tree import OneSidedTreeBuilder, OneSidedTreeConfig
+from .rules import RiskRule, deduplicate_rules, estimate_expectations, remove_redundant_rules
+
+
+@dataclass
+class GeneratedRiskFeatures:
+    """The output of risk-feature generation.
+
+    Attributes
+    ----------
+    rules:
+        The validated, deduplicated one-sided rules with estimated expectations.
+    vectorizer:
+        The fitted :class:`PairVectorizer`; downstream code uses it to map new
+        pairs into the same metric space before computing rule coverage.
+    generation_seconds:
+        Wall-clock time spent growing the rule forest (Figure 13a).
+    """
+
+    rules: list[RiskRule]
+    vectorizer: PairVectorizer
+    generation_seconds: float = 0.0
+    statistics: dict[str, float] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def rule_matrix(self, metric_matrix: np.ndarray) -> np.ndarray:
+        """Binary (n_pairs, n_rules) membership matrix over a metric matrix."""
+        metric_matrix = np.asarray(metric_matrix, dtype=float)
+        if not self.rules:
+            return np.zeros((len(metric_matrix), 0), dtype=float)
+        columns = [rule.coverage(metric_matrix).astype(float) for rule in self.rules]
+        return np.column_stack(columns)
+
+    def describe(self, limit: int | None = None) -> list[str]:
+        """Human-readable rule descriptions (optionally only the first ``limit``)."""
+        rules = self.rules if limit is None else self.rules[:limit]
+        return [rule.describe() for rule in rules]
+
+    def coverage_fraction(self, metric_matrix: np.ndarray) -> float:
+        """Fraction of pairs covered by at least one rule (the paper's "high coverage")."""
+        matrix = self.rule_matrix(metric_matrix)
+        if matrix.shape[1] == 0:
+            return 0.0
+        return float(np.mean(matrix.sum(axis=1) > 0))
+
+
+class RiskFeatureGenerator:
+    """End-to-end generator of interpretable risk features.
+
+    Parameters
+    ----------
+    tree_config:
+        One-sided tree hyper-parameters (depth, purity threshold, λ, ...).
+    min_rule_coverage:
+        Minimum number of rule-generation pairs a rule must cover to be kept.
+    expectation_smoothing:
+        Laplace smoothing used when estimating rule expectations.
+    """
+
+    def __init__(
+        self,
+        tree_config: OneSidedTreeConfig | None = None,
+        min_rule_coverage: int = 5,
+        expectation_smoothing: float = 1.0,
+    ) -> None:
+        self.tree_config = tree_config or OneSidedTreeConfig()
+        self.min_rule_coverage = min_rule_coverage
+        self.expectation_smoothing = expectation_smoothing
+
+    def generate(
+        self,
+        rule_workload: Workload,
+        expectation_workload: Workload | None = None,
+        vectorizer: PairVectorizer | None = None,
+    ) -> GeneratedRiskFeatures:
+        """Generate risk features from labeled data.
+
+        Parameters
+        ----------
+        rule_workload:
+            The labeled pairs used to grow the one-sided trees (the classifier
+            training data in the paper's setup).
+        expectation_workload:
+            The labeled pairs used to estimate rule expectations; defaults to
+            ``rule_workload`` (as in the paper, both are the classifier
+            training data).
+        vectorizer:
+            A pre-fitted vectoriser to reuse; a fresh one is fitted on the rule
+            workload's tables when omitted.
+        """
+        if rule_workload.left_table is None and vectorizer is None:
+            raise DataError("rule workload has no source tables and no vectorizer was supplied")
+        if vectorizer is None:
+            vectorizer = PairVectorizer(rule_workload.left_table.schema)
+            vectorizer.fit_workload(rule_workload)
+
+        start = time.perf_counter()
+        metric_matrix = vectorizer.transform(rule_workload.pairs)
+        labels = rule_workload.labels()
+
+        builder = OneSidedTreeBuilder(self.tree_config, vectorizer.feature_names)
+        raw_rules = builder.build(metric_matrix, labels)
+        rules = deduplicate_rules(raw_rules)
+        rules = remove_redundant_rules(rules, metric_matrix, self.min_rule_coverage)
+
+        expectation_source = expectation_workload or rule_workload
+        expectation_matrix = (
+            metric_matrix if expectation_source is rule_workload
+            else vectorizer.transform(expectation_source.pairs)
+        )
+        rules = estimate_expectations(
+            rules, expectation_matrix, expectation_source.labels(), self.expectation_smoothing
+        )
+        elapsed = time.perf_counter() - start
+
+        statistics = {
+            "n_raw_rules": float(len(raw_rules)),
+            "n_rules": float(len(rules)),
+            "n_matching_rules": float(sum(1 for rule in rules if rule.label == MATCH)),
+            "n_unmatching_rules": float(sum(1 for rule in rules if rule.label != MATCH)),
+            "generation_seconds": elapsed,
+        }
+        features = GeneratedRiskFeatures(
+            rules=rules,
+            vectorizer=vectorizer,
+            generation_seconds=elapsed,
+            statistics=statistics,
+        )
+        return features

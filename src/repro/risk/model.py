@@ -1,0 +1,293 @@
+"""The LearnRisk risk model (Section 6).
+
+:class:`LearnRiskModel` is the paper's primary contribution: an interpretable
+and learnable model that ranks classifier-labeled pairs by their risk of being
+mislabeled.  Its risk features are the one-sided rules produced by
+:class:`~repro.risk.feature_generation.RiskFeatureGenerator` plus the
+classifier-output feature; each feature carries an equivalence-probability
+distribution; a pair's distribution is the weighted portfolio aggregate of its
+features' distributions; and the pair's risk is the Value-at-Risk of its
+mislabeling loss.  The feature weights, feature variances (via relative
+standard deviations) and the classifier-output influence function are learned
+on validation data with a pairwise learning-to-rank loss.
+
+Typical usage (array level; see :mod:`repro.pipeline` for the workload level)::
+
+    features = RiskFeatureGenerator().generate(train_workload)
+    model = LearnRiskModel(features)
+    model.fit(validation_metrics, validation_probabilities,
+              validation_machine_labels, validation_ground_truth)
+    risk = model.score(test_metrics, test_probabilities, test_machine_labels)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.records import MATCH
+from ..exceptions import ConfigurationError, NotFittedError
+from .feature_generation import GeneratedRiskFeatures
+from .metrics import conditional_value_at_risk, expectation_risk, value_at_risk
+from .portfolio import PortfolioDistribution, aggregate_portfolio, feature_contributions
+from .training import (
+    RiskModelTrainer,
+    RiskParameters,
+    TrainingConfig,
+    TrainingResult,
+    output_bin_matrix,
+)
+
+
+@dataclass(frozen=True)
+class FeatureExplanation:
+    """One entry of a pair's risk explanation (the interpretability output)."""
+
+    description: str
+    weight_share: float
+    expectation: float
+    is_classifier_output: bool
+
+
+class LearnRiskModel:
+    """Interpretable and learnable risk model for ER (the paper's LearnRisk).
+
+    Parameters
+    ----------
+    features:
+        Generated risk features (rules + fitted vectoriser).
+    config:
+        Training hyper-parameters; the VaR confidence ``theta`` also drives
+        scoring.
+    n_output_bins:
+        Number of classifier-output bins, each with its own learnable RSD.
+    risk_metric:
+        ``"var"`` (paper default), ``"cvar"`` or ``"expectation"`` — the latter
+        two support ablation studies.
+    initial_weight, initial_rsd, initial_alpha, initial_beta:
+        Effective initial values of the trainable parameters.
+    """
+
+    def __init__(
+        self,
+        features: GeneratedRiskFeatures,
+        config: TrainingConfig | None = None,
+        n_output_bins: int = 10,
+        risk_metric: str = "var",
+        initial_weight: float = 1.0,
+        initial_rsd: float = 0.2,
+        initial_alpha: float = 0.2,
+        initial_beta: float = 1.0,
+    ) -> None:
+        if risk_metric not in {"var", "cvar", "expectation"}:
+            raise ConfigurationError("risk_metric must be 'var', 'cvar' or 'expectation'")
+        if n_output_bins < 1:
+            raise ConfigurationError("n_output_bins must be >= 1")
+        self.features = features
+        self.config = config or TrainingConfig()
+        self.n_output_bins = n_output_bins
+        self.risk_metric = risk_metric
+        self.parameters = RiskParameters.initialise(
+            n_rules=len(features.rules),
+            n_output_bins=n_output_bins,
+            initial_weight=initial_weight,
+            initial_rsd=initial_rsd,
+            initial_alpha=initial_alpha,
+            initial_beta=initial_beta,
+        )
+        self.training_result: TrainingResult | None = None
+        self._fitted = False
+
+    # ----------------------------------------------------------- parameters
+    @property
+    def rule_weights(self) -> np.ndarray:
+        """Effective (post-softplus) rule weights."""
+        return np.log1p(np.exp(self.parameters.rule_weight_raw.data))
+
+    @property
+    def rule_rsds(self) -> np.ndarray:
+        """Effective (post-softplus) rule relative standard deviations."""
+        return np.log1p(np.exp(self.parameters.rule_rsd_raw.data))
+
+    @property
+    def rule_expectations(self) -> np.ndarray:
+        """Prior expectations of the rule features (fixed, not trained)."""
+        return np.array([rule.expectation for rule in self.features.rules], dtype=float)
+
+    @property
+    def influence_alpha(self) -> float:
+        """Effective α of the classifier-output influence function (Eq. 11)."""
+        return float(np.log1p(np.exp(self.parameters.alpha_raw.data[0])))
+
+    @property
+    def influence_beta(self) -> float:
+        """Effective β of the classifier-output influence function (Eq. 11)."""
+        return float(np.log1p(np.exp(self.parameters.beta_raw.data[0])))
+
+    @property
+    def output_rsds(self) -> np.ndarray:
+        """Effective per-bin RSD of the classifier-output feature."""
+        return np.log1p(np.exp(self.parameters.output_rsd_raw.data))
+
+    def influence_weight(self, probabilities: np.ndarray) -> np.ndarray:
+        """The influence-function weight of the classifier output (Eq. 11)."""
+        probabilities = np.asarray(probabilities, dtype=float)
+        alpha = self.influence_alpha
+        beta = self.influence_beta
+        return -np.exp(-((probabilities - 0.5) ** 2) / (2.0 * alpha ** 2)) + beta + 1.0
+
+    # ------------------------------------------------------------------- fit
+    def fit(
+        self,
+        metric_matrix: np.ndarray,
+        machine_probabilities: np.ndarray,
+        machine_labels: np.ndarray,
+        ground_truth: np.ndarray,
+    ) -> "LearnRiskModel":
+        """Train the risk model on risk-training (validation) data.
+
+        Parameters
+        ----------
+        metric_matrix:
+            Basic-metric matrix of the risk-training pairs (from the same
+            vectoriser the features were generated with).
+        machine_probabilities, machine_labels:
+            The classifier's probability outputs and hard labels on those pairs.
+        ground_truth:
+            True labels of those pairs; the risk label of a pair is
+            ``machine_label != ground_truth``.
+        """
+        metric_matrix = np.asarray(metric_matrix, dtype=float)
+        machine_probabilities = np.asarray(machine_probabilities, dtype=float)
+        machine_labels = np.asarray(machine_labels, dtype=int)
+        ground_truth = np.asarray(ground_truth, dtype=int)
+        if not (len(metric_matrix) == len(machine_probabilities) == len(machine_labels) == len(ground_truth)):
+            raise ConfigurationError("all fit inputs must have one entry per pair")
+
+        membership = self.features.rule_matrix(metric_matrix)
+        risk_labels = (machine_labels != ground_truth).astype(int)
+        trainer = RiskModelTrainer(self.config)
+        self.training_result = trainer.train(
+            self.parameters,
+            membership,
+            self.rule_expectations,
+            machine_probabilities,
+            machine_labels,
+            risk_labels,
+        )
+        self._fitted = True
+        return self
+
+    # ----------------------------------------------------------- distribution
+    def distribution(
+        self,
+        metric_matrix: np.ndarray,
+        machine_probabilities: np.ndarray,
+    ) -> PortfolioDistribution:
+        """Aggregate the equivalence-probability distribution of each pair."""
+        metric_matrix = np.asarray(metric_matrix, dtype=float)
+        machine_probabilities = np.asarray(machine_probabilities, dtype=float)
+        membership = self.features.rule_matrix(metric_matrix)
+        rule_means = self.rule_expectations
+        rule_stds = self.rule_rsds * rule_means if len(rule_means) else np.array([])
+        output_bins = output_bin_matrix(machine_probabilities, self.n_output_bins)
+        output_rsd = output_bins @ self.output_rsds
+        return aggregate_portfolio(
+            membership,
+            self.rule_weights,
+            rule_means,
+            rule_stds,
+            output_weights=self.influence_weight(machine_probabilities),
+            output_means=machine_probabilities,
+            output_stds=output_rsd * machine_probabilities,
+        )
+
+    # ----------------------------------------------------------------- score
+    def score(
+        self,
+        metric_matrix: np.ndarray,
+        machine_probabilities: np.ndarray,
+        machine_labels: np.ndarray,
+    ) -> np.ndarray:
+        """Risk score of each pair (higher = more likely mislabeled).
+
+        The model may be used unfitted (all parameters at their initial
+        values), which corresponds to the untrained prior risk model; ``fit``
+        is required for the learned behaviour evaluated in the paper.
+        """
+        machine_labels = np.asarray(machine_labels, dtype=int)
+        distribution = self.distribution(metric_matrix, machine_probabilities)
+        if self.risk_metric == "var":
+            return value_at_risk(distribution, machine_labels, theta=self.config.theta)
+        if self.risk_metric == "cvar":
+            return conditional_value_at_risk(distribution, machine_labels, theta=self.config.theta)
+        return expectation_risk(distribution, machine_labels)
+
+    def rank(
+        self,
+        metric_matrix: np.ndarray,
+        machine_probabilities: np.ndarray,
+        machine_labels: np.ndarray,
+    ) -> np.ndarray:
+        """Indices of pairs ordered from highest to lowest risk."""
+        scores = self.score(metric_matrix, machine_probabilities, machine_labels)
+        return np.argsort(-scores, kind="stable")
+
+    # ------------------------------------------------------------ interpret
+    def explain(
+        self,
+        metric_row: np.ndarray,
+        machine_probability: float,
+        top_k: int | None = None,
+    ) -> list[FeatureExplanation]:
+        """Explain one pair's risk by its features' weight shares.
+
+        Returns the rules covering the pair (plus the classifier-output
+        feature) ordered by their share of the portfolio weight — the paper's
+        interpretability payoff: a risky pair can be traced back to the
+        human-readable rules responsible.
+        """
+        metric_row = np.asarray(metric_row, dtype=float).reshape(1, -1)
+        membership_row = self.features.rule_matrix(metric_row)[0]
+        output_weight = float(self.influence_weight(np.array([machine_probability]))[0])
+        contributions = feature_contributions(
+            membership_row, self.rule_weights, self.rule_expectations,
+            output_weight=output_weight, output_mean=machine_probability,
+        )
+        explanations = []
+        for feature_index, share in contributions:
+            if feature_index == -1:
+                explanations.append(FeatureExplanation(
+                    description=f"classifier output = {machine_probability:.3f}",
+                    weight_share=share,
+                    expectation=float(machine_probability),
+                    is_classifier_output=True,
+                ))
+            else:
+                rule = self.features.rules[feature_index]
+                explanations.append(FeatureExplanation(
+                    description=rule.describe(),
+                    weight_share=share,
+                    expectation=rule.expectation,
+                    is_classifier_output=False,
+                ))
+        if top_k is not None:
+            explanations = explanations[:top_k]
+        return explanations
+
+    # -------------------------------------------------------------- summary
+    def summary(self) -> dict[str, float]:
+        """Key fitted quantities (for logging and EXPERIMENTS.md reporting)."""
+        if not self._fitted:
+            raise NotFittedError("LearnRiskModel.summary requires a fitted model")
+        matching_rules = sum(1 for rule in self.features.rules if rule.label == MATCH)
+        final_loss = self.training_result.losses[-1] if self.training_result.losses else float("nan")
+        return {
+            "n_rules": float(len(self.features.rules)),
+            "n_matching_rules": float(matching_rules),
+            "alpha": self.influence_alpha,
+            "beta": self.influence_beta,
+            "final_loss": final_loss,
+            "n_rank_pairs": float(self.training_result.n_rank_pairs if self.training_result else 0),
+        }

@@ -1,0 +1,232 @@
+"""Difference metrics (Section 5.1, Figure 5).
+
+Similarity metrics focus on the *common* part of two values; difference metrics
+directly capture what is *different* and are therefore better indicators of
+inequivalence.  The paper organises them by attribute kind:
+
+* **Entity name** — ``non_substring``, ``non_prefix``, ``non_suffix`` and their
+  abbreviation variants ``abbr_non_substring`` / ``abbr_non_prefix`` /
+  ``abbr_non_suffix``.  They return 1.0 when one value is *not* contained in /
+  a prefix of / a suffix of the other (after normalisation), which usually
+  means the names denote different entities.
+* **Entity set** — ``diff_cardinality`` (the two sets have different sizes) and
+  ``distinct_entity_count`` (the number of entities appearing in exactly one
+  set; Example 1 in the paper).
+* **Text description** — ``diff_key_token_count``: the number of
+  *discriminating* (high-IDF) tokens appearing in exactly one of the values.
+* **Numeric** — ``numeric_difference`` / ``numeric_inequality``.
+
+Count-valued metrics also have normalised companions in ``[0, 1]`` so they can
+be thresholded by the rule-generation trees alongside similarity scores.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .similarity import _to_float
+from .tokenize import abbreviation, normalize, split_entity_set, token_set
+
+
+def _one_sided_missing(left: str | None, right: str | None) -> float | None:
+    """Missing-value policy for difference metrics.
+
+    A missing value carries no evidence of *difference*, so pairs with a
+    missing side score 0.0 (no observed difference) rather than 1.0.
+    """
+    if not normalize(left) or not normalize(right):
+        return 0.0
+    return None
+
+
+def non_substring(left: str | None, right: str | None) -> float:
+    """1.0 when neither normalised value is a substring of the other."""
+    score = _one_sided_missing(left, right)
+    if score is not None:
+        return score
+    left_norm, right_norm = normalize(left), normalize(right)
+    return 0.0 if (left_norm in right_norm or right_norm in left_norm) else 1.0
+
+
+def non_prefix(left: str | None, right: str | None) -> float:
+    """1.0 when neither normalised value is a prefix of the other."""
+    score = _one_sided_missing(left, right)
+    if score is not None:
+        return score
+    left_norm, right_norm = normalize(left), normalize(right)
+    return 0.0 if (left_norm.startswith(right_norm) or right_norm.startswith(left_norm)) else 1.0
+
+
+def non_suffix(left: str | None, right: str | None) -> float:
+    """1.0 when neither normalised value is a suffix of the other."""
+    score = _one_sided_missing(left, right)
+    if score is not None:
+        return score
+    left_norm, right_norm = normalize(left), normalize(right)
+    return 0.0 if (left_norm.endswith(right_norm) or right_norm.endswith(left_norm)) else 1.0
+
+
+def _abbr_pair(left: str | None, right: str | None) -> tuple[str, str, str, str]:
+    """Return the normalised values and their first-letter abbreviations."""
+    return (normalize(left), normalize(right), abbreviation(left), abbreviation(right))
+
+
+def abbr_non_substring(left: str | None, right: str | None) -> float:
+    """1.0 when neither abbreviation is a substring of the other value (or abbreviation)."""
+    score = _one_sided_missing(left, right)
+    if score is not None:
+        return score
+    left_norm, right_norm, left_abbr, right_abbr = _abbr_pair(left, right)
+    compact_left = left_norm.replace(" ", "")
+    compact_right = right_norm.replace(" ", "")
+    contained = (
+        left_abbr in compact_right
+        or right_abbr in compact_left
+        or left_abbr in right_abbr
+        or right_abbr in left_abbr
+    )
+    return 0.0 if contained else 1.0
+
+
+def abbr_non_prefix(left: str | None, right: str | None) -> float:
+    """1.0 when neither abbreviation is a prefix of the other value's abbreviation."""
+    score = _one_sided_missing(left, right)
+    if score is not None:
+        return score
+    _, _, left_abbr, right_abbr = _abbr_pair(left, right)
+    contained = left_abbr.startswith(right_abbr) or right_abbr.startswith(left_abbr)
+    return 0.0 if contained else 1.0
+
+
+def abbr_non_suffix(left: str | None, right: str | None) -> float:
+    """1.0 when neither abbreviation is a suffix of the other value's abbreviation."""
+    score = _one_sided_missing(left, right)
+    if score is not None:
+        return score
+    _, _, left_abbr, right_abbr = _abbr_pair(left, right)
+    contained = left_abbr.endswith(right_abbr) or right_abbr.endswith(left_abbr)
+    return 0.0 if contained else 1.0
+
+
+def diff_cardinality(left: str | None, right: str | None, separator: str = ",") -> float:
+    """1.0 when the two entity sets contain different numbers of entities."""
+    score = _one_sided_missing(left, right)
+    if score is not None:
+        return score
+    left_entities = split_entity_set(left, separator)
+    right_entities = split_entity_set(right, separator)
+    return 1.0 if len(left_entities) != len(right_entities) else 0.0
+
+
+def distinct_entity_count(left: str | None, right: str | None, separator: str = ",") -> float:
+    """Number of entity names present in exactly one of the two sets."""
+    score = _one_sided_missing(left, right)
+    if score is not None:
+        return score
+    left_entities = set(split_entity_set(left, separator))
+    right_entities = set(split_entity_set(right, separator))
+    return float(len(left_entities ^ right_entities))
+
+
+def distinct_entity_fraction(left: str | None, right: str | None, separator: str = ",") -> float:
+    """``distinct_entity_count`` normalised by the union size (in [0, 1])."""
+    score = _one_sided_missing(left, right)
+    if score is not None:
+        return score
+    left_entities = set(split_entity_set(left, separator))
+    right_entities = set(split_entity_set(right, separator))
+    union = left_entities | right_entities
+    if not union:
+        return 0.0
+    return len(left_entities ^ right_entities) / len(union)
+
+
+def diff_key_token_count(
+    left: str | None,
+    right: str | None,
+    idf: dict[str, float] | None = None,
+    idf_threshold: float = 2.0,
+) -> float:
+    """Number of discriminating tokens appearing in exactly one of the two texts.
+
+    A token is discriminating when its IDF weight exceeds ``idf_threshold``;
+    with no IDF table supplied, every token longer than three characters is
+    treated as potentially discriminating.
+    """
+    score = _one_sided_missing(left, right)
+    if score is not None:
+        return score
+    left_tokens, right_tokens = token_set(left), token_set(right)
+    exclusive = left_tokens ^ right_tokens
+
+    def _is_key(token: str) -> bool:
+        if idf is not None:
+            return idf.get(token, idf_threshold + 1.0) >= idf_threshold
+        return len(token) > 3 and not token.isdigit()
+
+    return float(sum(1 for token in exclusive if _is_key(token)))
+
+
+def diff_key_token_fraction(
+    left: str | None,
+    right: str | None,
+    idf: dict[str, float] | None = None,
+    idf_threshold: float = 2.0,
+) -> float:
+    """``diff_key_token_count`` normalised by the number of key tokens in the union."""
+    score = _one_sided_missing(left, right)
+    if score is not None:
+        return score
+    left_tokens, right_tokens = token_set(left), token_set(right)
+
+    def _is_key(token: str) -> bool:
+        if idf is not None:
+            return idf.get(token, idf_threshold + 1.0) >= idf_threshold
+        return len(token) > 3 and not token.isdigit()
+
+    key_union = {token for token in (left_tokens | right_tokens) if _is_key(token)}
+    if not key_union:
+        return 0.0
+    key_exclusive = {token for token in (left_tokens ^ right_tokens) if _is_key(token)}
+    return len(key_exclusive) / len(key_union)
+
+
+def numeric_inequality(left: float | str | None, right: float | str | None) -> float:
+    """1.0 when the two numeric values differ (the paper's Year example, Eq. 1)."""
+    left_value, right_value = _to_float(left), _to_float(right)
+    if left_value is None or right_value is None:
+        return 0.0
+    return 1.0 if left_value != right_value else 0.0
+
+
+def numeric_difference(left: float | str | None, right: float | str | None) -> float:
+    """Relative numeric difference ``|a - b| / max(|a|, |b|)`` clipped to [0, 1]."""
+    left_value, right_value = _to_float(left), _to_float(right)
+    if left_value is None or right_value is None:
+        return 0.0
+    denominator = max(abs(left_value), abs(right_value))
+    if denominator == 0.0:
+        return 0.0
+    return float(min(1.0, abs(left_value - right_value) / denominator))
+
+
+#: Difference metrics applicable to entity-name attributes.
+ENTITY_NAME_DIFFERENCES: dict[str, Callable[[str | None, str | None], float]] = {
+    "non_substring": non_substring,
+    "non_prefix": non_prefix,
+    "non_suffix": non_suffix,
+    "abbr_non_substring": abbr_non_substring,
+    "abbr_non_prefix": abbr_non_prefix,
+    "abbr_non_suffix": abbr_non_suffix,
+}
+
+#: Difference metrics applicable to entity-set attributes.
+ENTITY_SET_DIFFERENCES: dict[str, Callable[[str | None, str | None], float]] = {
+    "diff_cardinality": diff_cardinality,
+    "distinct_entity": distinct_entity_fraction,
+}
+
+#: Difference metrics applicable to text-description attributes.
+TEXT_DIFFERENCES: dict[str, Callable[[str | None, str | None], float]] = {
+    "diff_key_token": diff_key_token_fraction,
+}

@@ -1,0 +1,327 @@
+"""String and numeric similarity metrics.
+
+These are the "basic metrics" of Section 5.1 that focus on the *common* part of
+two values.  All functions are symmetric, return a float in ``[0, 1]`` (1 means
+identical) and treat ``None``/empty values conservatively: if both values are
+missing the similarity is 1.0, if exactly one is missing it is 0.0.
+
+The library implements the classic metrics used by rule-based ER systems and by
+the paper's running examples: normalised edit distance, Jaro and Jaro-Winkler,
+longest common subsequence (LCS), token Jaccard / overlap / Dice, entity-set
+Jaccard, Monge-Elkan, TF-IDF cosine, character n-gram Jaccard, exact match and
+numeric absolute/relative similarity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from .tokenize import (
+    character_ngrams,
+    normalize,
+    split_entity_set,
+    token_counts,
+    token_set,
+    tokenize,
+)
+
+
+def _missing(left: str | None, right: str | None) -> float | None:
+    """Shared missing-value handling; returns a score or ``None`` to continue."""
+    left_norm = normalize(left)
+    right_norm = normalize(right)
+    if not left_norm and not right_norm:
+        return 1.0
+    if not left_norm or not right_norm:
+        return 0.0
+    return None
+
+
+def exact_match(left: str | None, right: str | None) -> float:
+    """1.0 when the normalised values are identical, else 0.0."""
+    score = _missing(left, right)
+    if score is not None:
+        return score
+    return 1.0 if normalize(left) == normalize(right) else 0.0
+
+
+def levenshtein_distance(left: str, right: str) -> int:
+    """Plain Levenshtein (edit) distance between two strings."""
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    previous = list(range(len(right) + 1))
+    for i, left_char in enumerate(left, start=1):
+        current = [i]
+        for j, right_char in enumerate(right, start=1):
+            substitution_cost = 0 if left_char == right_char else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + substitution_cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+def edit_similarity(left: str | None, right: str | None) -> float:
+    """Normalised edit similarity: ``1 - distance / max(len)``."""
+    score = _missing(left, right)
+    if score is not None:
+        return score
+    left_norm, right_norm = normalize(left), normalize(right)
+    distance = levenshtein_distance(left_norm, right_norm)
+    return 1.0 - distance / max(len(left_norm), len(right_norm))
+
+
+def jaro_similarity(left: str | None, right: str | None) -> float:
+    """Jaro similarity between the normalised values."""
+    score = _missing(left, right)
+    if score is not None:
+        return score
+    s1, s2 = normalize(left), normalize(right)
+    if s1 == s2:
+        return 1.0
+    match_window = max(len(s1), len(s2)) // 2 - 1
+    match_window = max(match_window, 0)
+    s1_matches = [False] * len(s1)
+    s2_matches = [False] * len(s2)
+    matches = 0
+    for i, char in enumerate(s1):
+        start = max(0, i - match_window)
+        end = min(i + match_window + 1, len(s2))
+        for j in range(start, end):
+            if s2_matches[j] or s2[j] != char:
+                continue
+            s1_matches[i] = True
+            s2_matches[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    k = 0
+    for i, matched in enumerate(s1_matches):
+        if not matched:
+            continue
+        while not s2_matches[k]:
+            k += 1
+        if s1[i] != s2[k]:
+            transpositions += 1
+        k += 1
+    transpositions //= 2
+    return (
+        matches / len(s1) + matches / len(s2) + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler_similarity(left: str | None, right: str | None, prefix_weight: float = 0.1) -> float:
+    """Jaro-Winkler similarity (Jaro boosted by a common prefix of up to 4 chars)."""
+    base = jaro_similarity(left, right)
+    if base in (0.0, 1.0):
+        return base
+    s1, s2 = normalize(left), normalize(right)
+    prefix = 0
+    for left_char, right_char in zip(s1[:4], s2[:4]):
+        if left_char != right_char:
+            break
+        prefix += 1
+    return base + prefix * prefix_weight * (1.0 - base)
+
+
+def lcs_length(left: Sequence, right: Sequence) -> int:
+    """Length of the longest common subsequence of two sequences."""
+    if not left or not right:
+        return 0
+    previous = [0] * (len(right) + 1)
+    for left_item in left:
+        current = [0]
+        for j, right_item in enumerate(right, start=1):
+            if left_item == right_item:
+                current.append(previous[j - 1] + 1)
+            else:
+                current.append(max(previous[j], current[j - 1]))
+        previous = current
+    return previous[-1]
+
+
+def lcs_similarity(left: str | None, right: str | None) -> float:
+    """Longest-common-subsequence similarity on characters, normalised by max length."""
+    score = _missing(left, right)
+    if score is not None:
+        return score
+    left_norm, right_norm = normalize(left), normalize(right)
+    return lcs_length(left_norm, right_norm) / max(len(left_norm), len(right_norm))
+
+
+def jaccard_similarity(left: str | None, right: str | None) -> float:
+    """Token-set Jaccard similarity."""
+    score = _missing(left, right)
+    if score is not None:
+        return score
+    left_tokens, right_tokens = token_set(left), token_set(right)
+    if not left_tokens and not right_tokens:
+        return 1.0
+    if not left_tokens or not right_tokens:
+        return 0.0
+    return len(left_tokens & right_tokens) / len(left_tokens | right_tokens)
+
+
+def overlap_coefficient(left: str | None, right: str | None) -> float:
+    """Token overlap coefficient: shared tokens over the smaller token set."""
+    score = _missing(left, right)
+    if score is not None:
+        return score
+    left_tokens, right_tokens = token_set(left), token_set(right)
+    if not left_tokens and not right_tokens:
+        return 1.0
+    if not left_tokens or not right_tokens:
+        return 0.0
+    return len(left_tokens & right_tokens) / min(len(left_tokens), len(right_tokens))
+
+
+def dice_similarity(left: str | None, right: str | None) -> float:
+    """Sørensen–Dice coefficient on token sets."""
+    score = _missing(left, right)
+    if score is not None:
+        return score
+    left_tokens, right_tokens = token_set(left), token_set(right)
+    if not left_tokens and not right_tokens:
+        return 1.0
+    if not left_tokens or not right_tokens:
+        return 0.0
+    return 2.0 * len(left_tokens & right_tokens) / (len(left_tokens) + len(right_tokens))
+
+
+def ngram_jaccard_similarity(left: str | None, right: str | None, n: int = 3) -> float:
+    """Jaccard similarity on character n-grams (robust to small typos)."""
+    score = _missing(left, right)
+    if score is not None:
+        return score
+    left_grams = set(character_ngrams(left, n))
+    right_grams = set(character_ngrams(right, n))
+    if not left_grams or not right_grams:
+        return 0.0
+    return len(left_grams & right_grams) / len(left_grams | right_grams)
+
+
+def monge_elkan_similarity(
+    left: str | None,
+    right: str | None,
+    inner: Callable[[str, str], float] = jaro_winkler_similarity,
+) -> float:
+    """Monge-Elkan similarity: mean best inner-similarity of each left token."""
+    score = _missing(left, right)
+    if score is not None:
+        return score
+    left_tokens, right_tokens = tokenize(left), tokenize(right)
+    if not left_tokens and not right_tokens:
+        return 1.0
+    if not left_tokens or not right_tokens:
+        return 0.0
+    total = 0.0
+    for left_token in left_tokens:
+        total += max(inner(left_token, right_token) for right_token in right_tokens)
+    return total / len(left_tokens)
+
+
+def cosine_tfidf_similarity(
+    left: str | None, right: str | None, idf: dict[str, float] | None = None
+) -> float:
+    """TF-IDF (or plain TF when ``idf`` is ``None``) cosine similarity on tokens."""
+    score = _missing(left, right)
+    if score is not None:
+        return score
+    left_counts, right_counts = token_counts(left), token_counts(right)
+    if not left_counts and not right_counts:
+        return 1.0
+    if not left_counts or not right_counts:
+        return 0.0
+    vocabulary = set(left_counts) | set(right_counts)
+    left_vector = np.array(
+        [left_counts.get(token, 0) * (idf.get(token, 1.0) if idf else 1.0) for token in vocabulary]
+    , dtype=float)
+    right_vector = np.array(
+        [right_counts.get(token, 0) * (idf.get(token, 1.0) if idf else 1.0) for token in vocabulary]
+    , dtype=float)
+    denominator = np.linalg.norm(left_vector) * np.linalg.norm(right_vector)
+    if denominator == 0.0:
+        return 0.0
+    return float(np.dot(left_vector, right_vector) / denominator)
+
+
+def entity_jaccard_similarity(
+    left: str | None, right: str | None, separator: str = ","
+) -> float:
+    """Jaccard similarity between two entity sets (e.g. author lists)."""
+    score = _missing(left, right)
+    if score is not None:
+        return score
+    left_entities = set(split_entity_set(left, separator))
+    right_entities = set(split_entity_set(right, separator))
+    if not left_entities and not right_entities:
+        return 1.0
+    if not left_entities or not right_entities:
+        return 0.0
+    return len(left_entities & right_entities) / len(left_entities | right_entities)
+
+
+def numeric_similarity(left: float | str | None, right: float | str | None) -> float:
+    """Relative numeric similarity: ``1 - |a - b| / max(|a|, |b|)`` clipped to [0, 1]."""
+    left_value = _to_float(left)
+    right_value = _to_float(right)
+    if left_value is None and right_value is None:
+        return 1.0
+    if left_value is None or right_value is None:
+        return 0.0
+    if left_value == right_value:
+        return 1.0
+    denominator = max(abs(left_value), abs(right_value))
+    if denominator == 0.0:
+        return 1.0
+    return float(np.clip(1.0 - abs(left_value - right_value) / denominator, 0.0, 1.0))
+
+
+def numeric_equality(left: float | str | None, right: float | str | None) -> float:
+    """1.0 when two numeric values are equal, 0.0 otherwise (missing treated as above)."""
+    left_value = _to_float(left)
+    right_value = _to_float(right)
+    if left_value is None and right_value is None:
+        return 1.0
+    if left_value is None or right_value is None:
+        return 0.0
+    return 1.0 if left_value == right_value else 0.0
+
+
+def _to_float(value: float | str | None) -> float | None:
+    """Best-effort conversion of a raw attribute value to ``float``."""
+    if value is None:
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    text = str(value).strip()
+    if not text:
+        return None
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+#: Registry of the similarity functions applicable to generic string values,
+#: keyed by the short names used in generated rule descriptions.
+STRING_SIMILARITIES: dict[str, Callable[[str | None, str | None], float]] = {
+    "exact": exact_match,
+    "edit": edit_similarity,
+    "jaro_winkler": jaro_winkler_similarity,
+    "lcs": lcs_similarity,
+    "jaccard": jaccard_similarity,
+    "overlap": overlap_coefficient,
+    "dice": dice_similarity,
+    "ngram_jaccard": ngram_jaccard_similarity,
+    "monge_elkan": monge_elkan_similarity,
+    "cosine": cosine_tfidf_similarity,
+}

@@ -1,0 +1,106 @@
+"""Tokenisation and normalisation helpers shared by all string metrics."""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Iterable
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+_WHITESPACE = re.compile(r"\s+")
+
+
+def normalize(value: str | None) -> str:
+    """Lower-case ``value`` and collapse runs of whitespace.
+
+    ``None`` and non-string inputs normalise to the empty string so that
+    callers never have to special-case missing values.
+    """
+    if value is None:
+        return ""
+    if not isinstance(value, str):
+        value = str(value)
+    return _WHITESPACE.sub(" ", value.strip().lower())
+
+
+def tokenize(value: str | None) -> list[str]:
+    """Split ``value`` into lower-case alphanumeric tokens."""
+    return _TOKEN_PATTERN.findall(normalize(value))
+
+
+def token_set(value: str | None) -> set[str]:
+    """Return the set of tokens of ``value``."""
+    return set(tokenize(value))
+
+
+def token_counts(value: str | None) -> Counter:
+    """Return the multiset (Counter) of tokens of ``value``."""
+    return Counter(tokenize(value))
+
+
+def character_ngrams(value: str | None, n: int = 3) -> list[str]:
+    """Return the character ``n``-grams of the normalised value.
+
+    Values shorter than ``n`` produce a single n-gram padded with ``#`` so that
+    short strings still compare meaningfully.
+    """
+    text = normalize(value).replace(" ", "_")
+    if not text:
+        return []
+    if len(text) < n:
+        return [text.ljust(n, "#")]
+    return [text[i:i + n] for i in range(len(text) - n + 1)]
+
+
+def split_entity_set(value: str | None, separator: str = ",") -> list[str]:
+    """Split an entity-set value (e.g. an author list) into normalised names.
+
+    Empty components are dropped; each name keeps its internal token order.
+    """
+    if value is None:
+        return []
+    names = []
+    for part in str(value).split(separator):
+        name = normalize(part)
+        if name:
+            names.append(name)
+    return names
+
+
+def abbreviation(value: str | None) -> str:
+    """Return the first-letter abbreviation of a multi-token value.
+
+    ``"Very Large Data Bases"`` abbreviates to ``"vldb"``.  Single-token values
+    return themselves so that comparing an already-abbreviated value with its
+    expansion works in either direction.
+    """
+    tokens = tokenize(value)
+    if not tokens:
+        return ""
+    if len(tokens) == 1:
+        return tokens[0]
+    return "".join(token[0] for token in tokens)
+
+
+def idf_weights(documents: Iterable[str | None]) -> dict[str, float]:
+    """Compute inverse-document-frequency weights over a corpus of values.
+
+    Used by the ``diff-key-token`` difference metric and by TF-IDF cosine
+    similarity to decide which tokens are *discriminating*.
+    """
+    import math
+
+    document_frequency: Counter = Counter()
+    n_documents = 0
+    for document in documents:
+        tokens = token_set(document)
+        if not tokens:
+            continue
+        n_documents += 1
+        document_frequency.update(tokens)
+    if n_documents == 0:
+        return {}
+    return {
+        token: math.log((1 + n_documents) / (1 + frequency)) + 1.0
+        for token, frequency in document_frequency.items()
+    }

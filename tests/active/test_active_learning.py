@@ -1,0 +1,121 @@
+"""Tests for active-learning strategies and the acquisition loop (Figure 14)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.active.loop import ActiveLearningLoop, run_active_learning_comparison
+from repro.active.strategies import (
+    EntropyStrategy,
+    LeastConfidenceStrategy,
+    RiskStrategy,
+    available_strategies,
+)
+from repro.classifiers.logistic import LogisticRegressionClassifier
+from repro.exceptions import ConfigurationError
+from repro.risk.onesided_tree import OneSidedTreeConfig
+from repro.risk.training import TrainingConfig
+
+
+class TestStrategies:
+    def test_least_confidence_prefers_ambiguous(self):
+        strategy = LeastConfidenceStrategy()
+        probabilities = np.array([0.05, 0.5, 0.95, 0.6])
+        selected = strategy.select(1, np.zeros((4, 2)), probabilities)
+        assert selected[0] == 1
+
+    def test_entropy_prefers_ambiguous(self):
+        strategy = EntropyStrategy()
+        probabilities = np.array([0.99, 0.45, 0.02])
+        scores = strategy.scores(np.zeros((3, 2)), probabilities)
+        assert np.argmax(scores) == 1
+
+    def test_entropy_and_least_confidence_agree_on_ranking(self):
+        """For binary classification both are monotone in |p - 0.5| (the paper's
+        Figure 14 shows them nearly overlapping)."""
+        rng = np.random.default_rng(0)
+        probabilities = rng.random(50)
+        entropy_rank = np.argsort(EntropyStrategy().scores(np.zeros((50, 1)), probabilities))
+        confidence_rank = np.argsort(LeastConfidenceStrategy().scores(np.zeros((50, 1)), probabilities))
+        assert list(entropy_rank) == list(confidence_rank)
+
+    def test_risk_strategy_requires_context(self):
+        with pytest.raises(ValueError):
+            RiskStrategy().scores(np.zeros((3, 2)), np.full(3, 0.5), context=None)
+
+    def test_risk_strategy_scores_pool(self, prepared_ds):
+        strategy = RiskStrategy(training_config=TrainingConfig(epochs=20))
+        context = prepared_ds.context()
+        pool = prepared_ds.test
+        scores = strategy.scores(pool.features[:50], pool.probabilities[:50], context)
+        assert scores.shape == (50,)
+        assert np.all(np.isfinite(scores))
+
+    def test_registry(self):
+        assert set(available_strategies()) == {"LeastConfidence", "Entropy", "LearnRisk"}
+
+    def test_select_caps_batch(self):
+        strategy = LeastConfidenceStrategy()
+        selected = strategy.select(10, np.zeros((3, 1)), np.array([0.4, 0.5, 0.6]))
+        assert len(selected) == 3
+
+
+class TestActiveLearningLoop:
+    @pytest.fixture(scope="class")
+    def small_workload(self, ds_workload):
+        return ds_workload.sample(400, seed=5)
+
+    def test_learning_curve_recorded(self, small_workload):
+        loop = ActiveLearningLoop(
+            strategy=LeastConfidenceStrategy(),
+            classifier_factory=lambda seed: LogisticRegressionClassifier(epochs=80, seed=seed),
+            initial_labeled=40, batch_size=20, rounds=3, seed=1,
+        )
+        result = loop.run(small_workload)
+        assert len(result.labeled_sizes) == len(result.f1_scores) == 4
+        assert result.labeled_sizes[0] < result.labeled_sizes[-1]
+        assert all(0.0 <= value <= 1.0 for value in result.f1_scores)
+        assert result.as_series()[result.labeled_sizes[-1]] == result.final_f1()
+
+    def test_labels_grow_by_batch_size(self, small_workload):
+        loop = ActiveLearningLoop(
+            strategy=EntropyStrategy(),
+            classifier_factory=lambda seed: LogisticRegressionClassifier(epochs=60, seed=seed),
+            initial_labeled=40, batch_size=25, rounds=2, seed=1,
+        )
+        result = loop.run(small_workload)
+        increments = np.diff(result.labeled_sizes)
+        assert all(increment == 25 for increment in increments)
+
+    def test_more_labels_generally_help(self, small_workload):
+        loop = ActiveLearningLoop(
+            strategy=LeastConfidenceStrategy(),
+            classifier_factory=lambda seed: LogisticRegressionClassifier(epochs=80, seed=seed),
+            initial_labeled=40, batch_size=40, rounds=4, seed=2,
+        )
+        result = loop.run(small_workload)
+        assert result.final_f1() >= result.f1_scores[0] - 0.1
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            ActiveLearningLoop(strategy=EntropyStrategy(), initial_labeled=1)
+
+    def test_comparison_runs_all_strategies(self, small_workload):
+        results = run_active_learning_comparison(
+            small_workload,
+            strategies=[LeastConfidenceStrategy(), EntropyStrategy()],
+            initial_labeled=40, batch_size=20, rounds=2, seed=1,
+        )
+        assert set(results) == {"LeastConfidence", "Entropy"}
+
+    def test_risk_strategy_in_loop(self, small_workload):
+        loop = ActiveLearningLoop(
+            strategy=RiskStrategy(training_config=TrainingConfig(epochs=20)),
+            classifier_factory=lambda seed: LogisticRegressionClassifier(epochs=60, seed=seed),
+            initial_labeled=60, batch_size=30, rounds=2,
+            tree_config=OneSidedTreeConfig(max_depth=2, min_support=4, max_thresholds=16),
+            seed=3,
+        )
+        result = loop.run(small_workload)
+        assert len(result.f1_scores) == 3

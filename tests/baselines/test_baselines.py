@@ -1,0 +1,188 @@
+"""Tests for the risk-analysis baselines behind the common scorer interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AmbiguityBaseline,
+    HoloCleanBaseline,
+    LearnRiskScorer,
+    StaticRiskBaseline,
+    TrustScoreBaseline,
+    UncertaintyBaseline,
+    default_scorers,
+)
+from repro.baselines.trustscore import kmeans
+from repro.evaluation.roc import auroc_score
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.risk.training import TrainingConfig
+
+ALL_SCORER_FACTORIES = [
+    AmbiguityBaseline,
+    lambda: UncertaintyBaseline(n_models=5),
+    TrustScoreBaseline,
+    StaticRiskBaseline,
+    lambda: LearnRiskScorer(training_config=TrainingConfig(epochs=40)),
+    lambda: HoloCleanBaseline(n_trees=8),
+]
+
+
+@pytest.fixture(scope="module")
+def context(prepared_ds):
+    return prepared_ds.context()
+
+
+class TestScorerInterface:
+    @pytest.mark.parametrize("factory", ALL_SCORER_FACTORIES)
+    def test_fit_then_score(self, factory, context, prepared_ds):
+        scorer = factory()
+        scorer.fit(context)
+        test = prepared_ds.test
+        scores = scorer.score(test.features, test.probabilities, test.machine_labels)
+        assert scores.shape == (len(test.workload),)
+        assert np.all(np.isfinite(scores))
+
+    @pytest.mark.parametrize("factory", ALL_SCORER_FACTORIES)
+    def test_unfitted_raises(self, factory, prepared_ds):
+        scorer = factory()
+        test = prepared_ds.test
+        with pytest.raises(NotFittedError):
+            scorer.score(test.features, test.probabilities, test.machine_labels)
+
+    @pytest.mark.parametrize("factory", ALL_SCORER_FACTORIES)
+    def test_better_than_random_on_ds(self, factory, context, prepared_ds):
+        scorer = factory()
+        scorer.fit(context)
+        test = prepared_ds.test
+        risk_labels = test.risk_labels
+        if risk_labels.sum() == 0 or risk_labels.sum() == len(risk_labels):
+            pytest.skip("test split has no mislabeled pairs to rank")
+        scores = scorer.score(test.features, test.probabilities, test.machine_labels)
+        assert auroc_score(risk_labels, scores) > 0.5
+
+    def test_default_scorers_are_the_papers_five(self):
+        names = [scorer.name for scorer in default_scorers()]
+        assert names == ["Baseline", "Uncertainty", "TrustScore", "StaticRisk", "LearnRisk"]
+
+
+class TestAmbiguityBaseline:
+    def test_score_is_ambiguity(self, context):
+        scorer = AmbiguityBaseline().fit(context)
+        probabilities = np.array([0.0, 0.5, 1.0, 0.75])
+        scores = scorer.score(np.zeros((4, 3)), probabilities, np.zeros(4, dtype=int))
+        assert scores[1] == pytest.approx(1.0)
+        assert scores[0] == scores[2] == pytest.approx(0.0)
+        assert scores[3] == pytest.approx(0.5)
+
+
+class TestUncertaintyBaseline:
+    def test_score_granularity_is_limited(self, context, prepared_ds):
+        scorer = UncertaintyBaseline(n_models=5).fit(context)
+        test = prepared_ds.test
+        scores = scorer.score(test.features, test.probabilities, test.machine_labels)
+        # p(1-p) over votes from 5 models can take at most 4 distinct values
+        # (0, 0.16, 0.24, 0.25 for fractions 0/5..5/5 folded symmetrically).
+        assert len(np.unique(np.round(scores, 6))) <= 4
+
+
+class TestTrustScore:
+    def test_kmeans_centroids(self):
+        rng = np.random.default_rng(0)
+        cluster_a = rng.normal(0.0, 0.05, size=(30, 2))
+        cluster_b = rng.normal(1.0, 0.05, size=(30, 2))
+        centroids = kmeans(np.vstack([cluster_a, cluster_b]), n_clusters=2, seed=0)
+        centroids = centroids[np.argsort(centroids[:, 0])]
+        assert np.allclose(centroids[0], [0.0, 0.0], atol=0.1)
+        assert np.allclose(centroids[1], [1.0, 1.0], atol=0.1)
+
+    def test_kmeans_fewer_points_than_clusters(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert kmeans(points, n_clusters=5).shape[0] == 2
+
+    def test_trust_scores_inverse_of_risk(self, context, prepared_ds):
+        scorer = TrustScoreBaseline().fit(context)
+        test = prepared_ds.test
+        risk = scorer.score(test.features, test.probabilities, test.machine_labels)
+        trust = scorer.trust_scores(test.features, test.machine_labels)
+        # Higher trust must correspond to lower risk (perfectly anti-correlated ranking).
+        assert np.corrcoef(risk, -trust)[0, 1] > 0.5
+
+    def test_invalid_density_fraction(self):
+        with pytest.raises(ConfigurationError):
+            TrustScoreBaseline(density_fraction=0.0)
+
+
+class TestStaticRisk:
+    def test_requires_shared_risk_features(self, context):
+        bare_context = type(context)(
+            train_features=context.train_features,
+            train_labels=context.train_labels,
+            validation_features=context.validation_features,
+            validation_probabilities=context.validation_probabilities,
+            validation_machine_labels=context.validation_machine_labels,
+            validation_ground_truth=context.validation_ground_truth,
+            classifier=context.classifier,
+            risk_features=None,
+        )
+        with pytest.raises(ConfigurationError):
+            StaticRiskBaseline().fit(bare_context)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            StaticRiskBaseline(prior_strength=0.0)
+        with pytest.raises(ConfigurationError):
+            StaticRiskBaseline(theta=2.0)
+
+    def test_contradicting_evidence_raises_risk(self, context, prepared_ds):
+        scorer = StaticRiskBaseline().fit(context)
+        test = prepared_ds.test
+        scores = scorer.score(test.features, test.probabilities, test.machine_labels)
+        assert np.all((scores >= 0.0) & (scores <= 1.0))
+
+
+class TestHoloClean:
+    def test_rules_generated(self, context):
+        scorer = HoloCleanBaseline(n_trees=8).fit(context)
+        assert scorer.n_rules > 0
+
+    def test_max_rules_cap(self, context):
+        scorer = HoloCleanBaseline(n_trees=8, max_rules=5).fit(context)
+        assert scorer.n_rules <= 5
+
+    def test_inferred_probability_valid(self, context, prepared_ds):
+        scorer = HoloCleanBaseline(n_trees=8).fit(context)
+        test = prepared_ds.test
+        inferred = scorer.infer_match_probability(test.features, test.probabilities)
+        assert np.all((inferred >= 0.0) & (inferred <= 1.0))
+
+    def test_invalid_purity(self):
+        with pytest.raises(ConfigurationError):
+            HoloCleanBaseline(min_rule_purity=0.4)
+
+
+class TestLearnRiskScorer:
+    def test_requires_risk_features(self, context):
+        bare_context = type(context)(
+            train_features=context.train_features,
+            train_labels=context.train_labels,
+            validation_features=context.validation_features,
+            validation_probabilities=context.validation_probabilities,
+            validation_machine_labels=context.validation_machine_labels,
+            validation_ground_truth=context.validation_ground_truth,
+        )
+        with pytest.raises(ConfigurationError):
+            LearnRiskScorer().fit(bare_context)
+
+    def test_outperforms_uncertainty_on_ds(self, context, prepared_ds):
+        """The paper's headline: LearnRisk beats the bootstrap-uncertainty baseline."""
+        test = prepared_ds.test
+        risk_labels = test.risk_labels
+        if risk_labels.sum() == 0:
+            pytest.skip("no mislabeled pairs in the test split")
+        learn_risk = LearnRiskScorer(training_config=TrainingConfig(epochs=60)).fit(context)
+        uncertainty = UncertaintyBaseline(n_models=5).fit(context)
+        learn_scores = learn_risk.score(test.features, test.probabilities, test.machine_labels)
+        uncertainty_scores = uncertainty.score(test.features, test.probabilities, test.machine_labels)
+        assert auroc_score(risk_labels, learn_scores) >= auroc_score(risk_labels, uncertainty_scores)

@@ -1,0 +1,32 @@
+"""Shared fixtures for classifier tests: a small separable synthetic problem."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="package")
+def separable_data():
+    """A linearly separable, imbalanced binary problem (ER-like)."""
+    rng = np.random.default_rng(0)
+    n_negative, n_positive = 300, 60
+    negatives = rng.normal(loc=0.2, scale=0.1, size=(n_negative, 5))
+    positives = rng.normal(loc=0.8, scale=0.1, size=(n_positive, 5))
+    features = np.clip(np.vstack([negatives, positives]), 0.0, 1.0)
+    labels = np.concatenate([np.zeros(n_negative, dtype=int), np.ones(n_positive, dtype=int)])
+    order = rng.permutation(len(labels))
+    return features[order], labels[order]
+
+
+@pytest.fixture(scope="package")
+def noisy_data():
+    """A harder problem where only two of six features are informative."""
+    rng = np.random.default_rng(1)
+    n_samples = 400
+    informative = rng.uniform(0.0, 1.0, size=(n_samples, 2))
+    noise = rng.uniform(0.0, 1.0, size=(n_samples, 4))
+    labels = ((informative[:, 0] + informative[:, 1]) > 1.0).astype(int)
+    flip = rng.random(n_samples) < 0.05
+    labels[flip] = 1 - labels[flip]
+    return np.hstack([informative, noise]), labels

@@ -1,0 +1,107 @@
+"""Unit tests for the bootstrap ensemble, Platt calibration and the column-subset adapter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classifiers.calibration import PlattCalibrator, expected_calibration_error
+from repro.classifiers.ensemble import BootstrapEnsemble
+from repro.classifiers.logistic import LogisticRegressionClassifier
+from repro.classifiers.subset import ColumnSubsetClassifier
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+class TestBootstrapEnsemble:
+    def test_vote_fraction_has_limited_granularity(self, separable_data):
+        features, labels = separable_data
+        ensemble = BootstrapEnsemble(n_models=5, seed=0).fit(features, labels)
+        votes = ensemble.vote_fraction(features)
+        # With 5 members the vote fraction can only take 6 distinct values
+        # (the paper notes the resulting "highly regular ROC curves").
+        assert len(np.unique(votes)) <= 6
+        assert np.all((votes >= 0.0) & (votes <= 1.0))
+
+    def test_mean_probability_smooth(self, separable_data):
+        features, labels = separable_data
+        ensemble = BootstrapEnsemble(n_models=5, seed=0).fit(features, labels)
+        probabilities = ensemble.predict_proba(features)
+        assert len(np.unique(probabilities)) > 6
+
+    def test_requires_two_models(self):
+        with pytest.raises(ConfigurationError):
+            BootstrapEnsemble(n_models=1)
+
+    def test_unfitted_raises(self, separable_data):
+        features, _ = separable_data
+        with pytest.raises(NotFittedError):
+            BootstrapEnsemble(n_models=3).vote_fraction(features)
+
+    def test_custom_factory(self, separable_data):
+        features, labels = separable_data
+        ensemble = BootstrapEnsemble(
+            model_factory=lambda index: LogisticRegressionClassifier(epochs=50, seed=index),
+            n_models=3, seed=1,
+        ).fit(features, labels)
+        assert len(ensemble.models) == 3
+
+
+class TestPlattCalibration:
+    def test_calibration_reduces_ece_for_overconfident_scores(self):
+        rng = np.random.default_rng(0)
+        true_probabilities = rng.uniform(0.05, 0.95, size=800)
+        labels = (rng.random(800) < true_probabilities).astype(int)
+        # Over-confident scores: push towards the extremes.
+        overconfident = np.clip(true_probabilities * 1.8 - 0.4, 0.001, 0.999)
+        calibrator = PlattCalibrator(max_iterations=2000, learning_rate=0.5)
+        calibrated = calibrator.fit_transform(overconfident, labels)
+        assert expected_calibration_error(calibrated, labels) <= \
+            expected_calibration_error(overconfident, labels) + 0.02
+
+    def test_calibration_preserves_ranking(self):
+        """The related-work claim: calibration rescales but does not re-rank scores."""
+        scores = np.linspace(0.0, 1.0, 50)
+        labels = (scores > 0.5).astype(int)
+        calibrated = PlattCalibrator().fit_transform(scores, labels)
+        assert np.all(np.diff(calibrated) >= -1e-12)
+
+    def test_unfitted_transform_raises(self):
+        with pytest.raises(NotFittedError):
+            PlattCalibrator().transform(np.array([0.5]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            PlattCalibrator().fit(np.array([0.1, 0.2]), np.array([1]))
+
+    def test_ece_bounds(self):
+        assert expected_calibration_error(np.array([]), np.array([])) == 0.0
+        perfect = expected_calibration_error(np.array([1.0, 0.0]), np.array([1, 0]))
+        assert perfect == pytest.approx(0.0)
+
+
+class TestColumnSubsetClassifier:
+    def test_only_selected_columns_used(self, separable_data):
+        features, labels = separable_data
+        # Make column 0 pure noise and verify the subset {0} cannot learn while {1..} can.
+        rng = np.random.default_rng(0)
+        noisy = features.copy()
+        noisy[:, 0] = rng.random(len(noisy))
+        informative = ColumnSubsetClassifier(
+            LogisticRegressionClassifier(epochs=150, seed=0), column_indices=[1, 2, 3, 4]
+        ).fit(noisy, labels)
+        noise_only = ColumnSubsetClassifier(
+            LogisticRegressionClassifier(epochs=150, seed=0), column_indices=[0]
+        ).fit(noisy, labels)
+        informative_accuracy = np.mean(informative.predict(noisy) == labels)
+        noise_accuracy = np.mean(noise_only.predict(noisy) == labels)
+        assert informative_accuracy > noise_accuracy
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ColumnSubsetClassifier(LogisticRegressionClassifier(), column_indices=[])
+
+    def test_out_of_range_column_rejected(self, separable_data):
+        features, labels = separable_data
+        adapter = ColumnSubsetClassifier(LogisticRegressionClassifier(epochs=20), column_indices=[99])
+        with pytest.raises(ConfigurationError):
+            adapter.fit(features, labels)

@@ -1,0 +1,97 @@
+"""Unit tests for the logistic-regression and MLP classifiers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classifiers.base import accuracy_score
+from repro.classifiers.logistic import LogisticRegressionClassifier
+from repro.classifiers.mlp import MLPClassifier
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+
+
+@pytest.mark.parametrize("classifier_factory", [
+    lambda: LogisticRegressionClassifier(epochs=200, seed=0),
+    lambda: MLPClassifier(hidden_sizes=(16,), epochs=30, seed=0),
+])
+class TestSharedClassifierBehaviour:
+    def test_learns_separable_problem(self, classifier_factory, separable_data):
+        features, labels = separable_data
+        classifier = classifier_factory().fit(features, labels)
+        predictions = classifier.predict(features)
+        assert accuracy_score(labels, predictions) > 0.95
+
+    def test_probabilities_in_range(self, classifier_factory, separable_data):
+        features, labels = separable_data
+        classifier = classifier_factory().fit(features, labels)
+        probabilities = classifier.predict_proba(features)
+        assert np.all(probabilities >= 0.0) and np.all(probabilities <= 1.0)
+
+    def test_not_fitted_raises(self, classifier_factory, separable_data):
+        features, _ = separable_data
+        with pytest.raises(NotFittedError):
+            classifier_factory().predict_proba(features)
+
+    def test_rejects_bad_labels(self, classifier_factory, separable_data):
+        features, labels = separable_data
+        bad_labels = labels.copy()
+        bad_labels[0] = 3
+        with pytest.raises(DataError):
+            classifier_factory().fit(features, bad_labels)
+
+    def test_rejects_shape_mismatch(self, classifier_factory, separable_data):
+        features, labels = separable_data
+        with pytest.raises(DataError):
+            classifier_factory().fit(features, labels[:-5])
+
+    def test_rejects_empty(self, classifier_factory):
+        with pytest.raises(DataError):
+            classifier_factory().fit(np.zeros((0, 3)), np.zeros(0, dtype=int))
+
+    def test_deterministic_given_seed(self, classifier_factory, separable_data):
+        features, labels = separable_data
+        first = classifier_factory().fit(features, labels).predict_proba(features)
+        second = classifier_factory().fit(features, labels).predict_proba(features)
+        assert np.allclose(first, second)
+
+
+class TestLogisticRegression:
+    def test_coefficients_reflect_informative_features(self, noisy_data):
+        features, labels = noisy_data
+        classifier = LogisticRegressionClassifier(epochs=400, seed=0).fit(features, labels)
+        coefficients = np.abs(classifier.coefficients)
+        assert coefficients[:2].mean() > coefficients[2:].mean()
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ConfigurationError):
+            LogisticRegressionClassifier(epochs=0)
+
+    def test_threshold_parameter(self, separable_data):
+        features, labels = separable_data
+        classifier = LogisticRegressionClassifier(epochs=200, seed=0).fit(features, labels)
+        strict = classifier.predict(features, threshold=0.9).sum()
+        lenient = classifier.predict(features, threshold=0.1).sum()
+        assert lenient >= strict
+
+
+class TestMLP:
+    def test_learns_nonlinear_boundary(self):
+        rng = np.random.default_rng(2)
+        features = rng.uniform(-1.0, 1.0, size=(500, 2))
+        labels = ((features[:, 0] * features[:, 1]) > 0).astype(int)  # XOR-like
+        classifier = MLPClassifier(hidden_sizes=(16, 8), epochs=120, learning_rate=0.02, seed=0)
+        classifier.fit(features, labels)
+        assert accuracy_score(labels, classifier.predict(features)) > 0.9
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            MLPClassifier(hidden_sizes=())
+        with pytest.raises(ConfigurationError):
+            MLPClassifier(epochs=0)
+
+    def test_full_batch_mode(self, separable_data):
+        features, labels = separable_data
+        classifier = MLPClassifier(hidden_sizes=(8,), epochs=20, batch_size=None, seed=0)
+        classifier.fit(features, labels)
+        assert accuracy_score(labels, classifier.predict(features)) > 0.9

@@ -1,0 +1,144 @@
+"""Unit tests for the CART tree, the random forest and labeling-rule extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classifiers.base import accuracy_score
+from repro.classifiers.forest import RandomForestClassifier, extract_labeling_rules
+from repro.classifiers.tree import DecisionTreeClassifier, find_best_split, gini_impurity
+from repro.exceptions import ConfigurationError
+
+
+class TestGiniImpurity:
+    def test_pure_sets(self):
+        assert gini_impurity(np.array([1, 1, 1])) == 0.0
+        assert gini_impurity(np.array([0, 0])) == 0.0
+
+    def test_balanced_set(self):
+        assert gini_impurity(np.array([0, 1, 0, 1])) == pytest.approx(0.5)
+
+    def test_weighted(self):
+        labels = np.array([0, 1])
+        weights = np.array([3.0, 1.0])
+        assert gini_impurity(labels, weights) == pytest.approx(1.0 - 0.75 ** 2 - 0.25 ** 2)
+
+    def test_empty(self):
+        assert gini_impurity(np.array([])) == 0.0
+
+
+class TestFindBestSplit:
+    def test_finds_perfect_split(self):
+        features = np.array([[0.1], [0.2], [0.8], [0.9]])
+        labels = np.array([0, 0, 1, 1])
+        weights = np.ones(4)
+        split = find_best_split(features, labels, weights, np.array([0]), min_samples_leaf=1)
+        assert split is not None
+        assert 0.2 < split.threshold < 0.8
+        assert split.score == pytest.approx(0.0)
+
+    def test_respects_min_samples_leaf(self):
+        features = np.array([[0.1], [0.9], [0.9], [0.9]])
+        labels = np.array([0, 1, 1, 1])
+        weights = np.ones(4)
+        split = find_best_split(features, labels, weights, np.array([0]), min_samples_leaf=2)
+        assert split is None
+
+    def test_constant_feature(self):
+        features = np.ones((6, 1))
+        labels = np.array([0, 1, 0, 1, 0, 1])
+        split = find_best_split(features, labels, np.ones(6), np.array([0]), min_samples_leaf=1)
+        assert split is None
+
+
+class TestDecisionTree:
+    def test_fits_separable_data(self, separable_data):
+        features, labels = separable_data
+        tree = DecisionTreeClassifier(max_depth=3, min_samples_leaf=2).fit(features, labels)
+        assert accuracy_score(labels, tree.predict(features)) > 0.95
+        assert tree.depth() <= 3
+
+    def test_class_weight_shifts_probabilities(self, separable_data):
+        features, labels = separable_data
+        plain = DecisionTreeClassifier(max_depth=2).fit(features, labels)
+        weighted = DecisionTreeClassifier(max_depth=2, class_weight={1: 50.0}).fit(features, labels)
+        assert weighted.predict_proba(features).mean() >= plain.predict_proba(features).mean()
+
+    def test_leaves_have_paths(self, separable_data):
+        features, labels = separable_data
+        tree = DecisionTreeClassifier(max_depth=3).fit(features, labels)
+        leaves = tree.leaves()
+        assert len(leaves) >= 2
+        assert all(leaf.is_leaf() for leaf in leaves)
+        assert any(leaf.path for leaf in leaves)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ConfigurationError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+
+    def test_probability_bounds(self, noisy_data):
+        features, labels = noisy_data
+        tree = DecisionTreeClassifier(max_depth=4).fit(features, labels)
+        probabilities = tree.predict_proba(features)
+        assert np.all((probabilities >= 0.0) & (probabilities <= 1.0))
+
+
+class TestRandomForest:
+    def test_fits_and_beats_chance(self, noisy_data):
+        features, labels = noisy_data
+        forest = RandomForestClassifier(n_trees=10, max_depth=4, seed=0).fit(features, labels)
+        assert accuracy_score(labels, forest.predict(features)) > 0.8
+
+    def test_probabilities_are_averages(self, separable_data):
+        features, labels = separable_data
+        forest = RandomForestClassifier(n_trees=5, max_depth=3, seed=0).fit(features, labels)
+        probabilities = forest.predict_proba(features)
+        assert np.all((probabilities >= 0.0) & (probabilities <= 1.0))
+
+    def test_invalid_tree_count(self):
+        with pytest.raises(ConfigurationError):
+            RandomForestClassifier(n_trees=0)
+
+    def test_deterministic_given_seed(self, separable_data):
+        features, labels = separable_data
+        first = RandomForestClassifier(n_trees=5, seed=3).fit(features, labels).predict_proba(features)
+        second = RandomForestClassifier(n_trees=5, seed=3).fit(features, labels).predict_proba(features)
+        assert np.allclose(first, second)
+
+
+class TestLabelingRuleExtraction:
+    def test_rules_extracted_and_pure(self, separable_data):
+        features, labels = separable_data
+        forest = RandomForestClassifier(n_trees=10, max_depth=3, seed=0).fit(features, labels)
+        rules = extract_labeling_rules(forest, min_purity=0.9, min_support=5)
+        assert rules, "expected at least one labeling rule"
+        for rule in rules:
+            assert rule.confidence >= 0.9
+            assert rule.support >= 5
+            assert rule.label in (0, 1)
+
+    def test_rule_coverage_consistent_with_matches(self, separable_data):
+        features, labels = separable_data
+        forest = RandomForestClassifier(n_trees=5, max_depth=3, seed=0).fit(features, labels)
+        rules = extract_labeling_rules(forest)
+        rule = rules[0]
+        mask = rule.coverage(features)
+        assert mask.sum() > 0
+        for row, covered in zip(features, mask):
+            assert rule.matches(row) == covered
+
+    def test_max_rules_cap(self, separable_data):
+        features, labels = separable_data
+        forest = RandomForestClassifier(n_trees=10, max_depth=4, seed=0).fit(features, labels)
+        rules = extract_labeling_rules(forest, max_rules=3)
+        assert len(rules) <= 3
+
+    def test_describe_human_readable(self, separable_data):
+        features, labels = separable_data
+        forest = RandomForestClassifier(n_trees=5, max_depth=2, seed=0).fit(features, labels)
+        rules = extract_labeling_rules(forest)
+        description = rules[0].describe(feature_names=[f"metric_{i}" for i in range(features.shape[1])])
+        assert "->" in description and ("matching" in description or "unmatching" in description)

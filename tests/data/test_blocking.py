@@ -1,0 +1,97 @@
+"""Unit tests for the blocking strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.blocking import (
+    SortedNeighbourhoodBlocker,
+    TokenBlocker,
+    block_tables,
+    blocking_recall,
+)
+from repro.data.records import Record, Table
+from repro.data.schema import Attribute, AttributeType, Schema
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def product_tables():
+    schema = Schema((Attribute("name", AttributeType.TEXT),))
+    left = Table("left", schema)
+    right = Table("right", schema)
+    names = [
+        ("l1", "sony bravia television"),
+        ("l2", "panasonic lumix camera"),
+        ("l3", "bose quietcomfort headphones"),
+    ]
+    for record_id, name in names:
+        left.add(Record(record_id, {"name": name}))
+    right_names = [
+        ("r1", "sony bravia tv"),
+        ("r2", "lumix camera by panasonic"),
+        ("r3", "completely unrelated blender"),
+    ]
+    for record_id, name in right_names:
+        right.add(Record(record_id, {"name": name}))
+    return left, right
+
+
+class TestTokenBlocker:
+    def test_shared_token_pairs_found(self, product_tables):
+        left, right = product_tables
+        blocker = TokenBlocker(["name"], min_shared=1, max_token_frequency=1.0)
+        pairs = blocker.block(left, right)
+        assert ("l1", "r1") in pairs
+        assert ("l2", "r2") in pairs
+        assert ("l3", "r3") not in pairs
+
+    def test_min_shared_filters(self, product_tables):
+        left, right = product_tables
+        strict = TokenBlocker(["name"], min_shared=2, max_token_frequency=1.0)
+        pairs = strict.block(left, right)
+        assert ("l2", "r2") in pairs  # shares "panasonic" and "lumix" and "camera"
+        assert ("l1", "r1") in pairs  # shares "sony" and "bravia"
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            TokenBlocker([], min_shared=1)
+        with pytest.raises(ConfigurationError):
+            TokenBlocker(["name"], min_shared=0)
+        with pytest.raises(ConfigurationError):
+            TokenBlocker(["name"], max_token_frequency=0.0)
+
+
+class TestSortedNeighbourhoodBlocker:
+    def test_window_pairs_nearby_records(self, product_tables):
+        left, right = product_tables
+        blocker = SortedNeighbourhoodBlocker(key=lambda record: record["name"] or "", window=3)
+        pairs = blocker.block(left, right)
+        assert all(left_id.startswith("l") and right_id.startswith("r") for left_id, right_id in pairs)
+        assert len(pairs) > 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            SortedNeighbourhoodBlocker(key=lambda record: "", window=0)
+
+
+class TestBlockTables:
+    def test_union_and_ensured_matches(self, product_tables):
+        left, right = product_tables
+        blocker = TokenBlocker(["name"], min_shared=1, max_token_frequency=1.0)
+        candidates = block_tables(left, right, [blocker], ensure_matches=[("l3", "r3")])
+        assert ("l3", "r3") in candidates
+        assert candidates == sorted(candidates)
+
+    def test_recall(self):
+        candidates = [("l1", "r1"), ("l2", "r2")]
+        assert blocking_recall(candidates, [("l1", "r1")]) == 1.0
+        assert blocking_recall(candidates, [("l1", "r1"), ("l9", "r9")]) == 0.5
+        assert blocking_recall(candidates, []) == 1.0
+
+    def test_blocking_on_generated_workload_has_high_recall(self, ds_workload):
+        left, right = ds_workload.left_table, ds_workload.right_table
+        blocker = TokenBlocker(["title"], min_shared=2, max_token_frequency=0.3)
+        candidates = blocker.block(left, right)
+        matches = [pair.pair_id for pair in ds_workload.pairs if pair.ground_truth == 1]
+        assert blocking_recall(candidates, matches) > 0.7

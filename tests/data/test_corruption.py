@@ -1,0 +1,113 @@
+"""Unit tests for the dirty-value injection used by the dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.corruption import (
+    CorruptionProfile,
+    Corruptor,
+    abbreviate_entities,
+    abbreviate_tokens,
+    drop_entities,
+    drop_tokens,
+    introduce_typo,
+    reorder_entity_set,
+    shuffle_tokens,
+    truncate_value,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+class TestAtomicOperations:
+    def test_typo_changes_string(self, rng):
+        original = "panasonic camera"
+        results = {introduce_typo(original, rng) for _ in range(10)}
+        assert any(result != original for result in results)
+
+    def test_typo_keeps_short_values(self, rng):
+        assert introduce_typo("a", rng) == "a"
+
+    def test_abbreviate_tokens(self, rng):
+        value = abbreviate_tokens("Hans Kriegel", rng, probability=1.0)
+        assert value == "H K"
+
+    def test_drop_tokens_keeps_at_least_one(self, rng):
+        value = drop_tokens("alpha beta gamma", rng, probability=1.0)
+        assert len(value.split()) >= 1
+
+    def test_truncate_keeps_prefix(self, rng):
+        original = "one two three four five six"
+        truncated = truncate_value(original, rng)
+        assert original.startswith(truncated.split()[0])
+        assert len(truncated.split()) <= len(original.split())
+
+    def test_shuffle_preserves_tokens(self, rng):
+        original = "alpha beta gamma delta"
+        shuffled = shuffle_tokens(original, rng)
+        assert sorted(shuffled.split()) == sorted(original.split())
+
+    def test_entity_set_operations_preserve_entities(self, rng):
+        value = "A Smith, B Jones, C Brown"
+        reordered = reorder_entity_set(value, rng)
+        assert sorted(part.strip() for part in reordered.split(",")) == sorted(
+            part.strip() for part in value.split(",")
+        )
+        dropped = drop_entities(value, rng, probability=1.0)
+        assert len(dropped.split(",")) >= 1
+        abbreviated = abbreviate_entities(value, rng, probability=1.0)
+        assert "S" in abbreviated
+
+
+class TestCorruptionProfile:
+    def test_scaled_caps_probabilities(self):
+        profile = CorruptionProfile(typo=0.5, missing=0.5)
+        scaled = profile.scaled(10.0)
+        assert scaled.typo <= 0.95
+        assert scaled.missing <= 0.95
+
+    def test_scaled_zero_keeps_zero(self):
+        profile = CorruptionProfile()
+        assert profile.scaled(2.0).typo == 0.0
+
+
+class TestCorruptor:
+    def test_zero_profile_is_identity(self):
+        corruptor = Corruptor(CorruptionProfile(), np.random.default_rng(0))
+        assert corruptor.corrupt_string("unchanged value") == "unchanged value"
+        assert corruptor.corrupt_entity_set("A Smith, B Jones") == "A Smith, B Jones"
+        assert corruptor.corrupt_numeric(12.5) == 12.5
+
+    def test_none_passthrough(self):
+        corruptor = Corruptor(CorruptionProfile(typo=1.0), np.random.default_rng(0))
+        assert corruptor.corrupt_string(None) is None
+        assert corruptor.corrupt_entity_set(None) is None
+        assert corruptor.corrupt_numeric(None) is None
+
+    def test_missing_probability_blanks_values(self):
+        corruptor = Corruptor(CorruptionProfile(missing=1.0), np.random.default_rng(0))
+        assert corruptor.corrupt_string("value") is None
+
+    def test_heavy_profile_changes_most_values(self):
+        profile = CorruptionProfile(typo=0.8, abbreviate=0.8, drop_token=0.5, reorder=0.5)
+        corruptor = Corruptor(profile, np.random.default_rng(1))
+        originals = [f"some moderately long value number {i}" for i in range(20)]
+        changed = sum(corruptor.corrupt_string(value) != value for value in originals)
+        assert changed >= 15
+
+    def test_numeric_jitter(self):
+        corruptor = Corruptor(CorruptionProfile(numeric_jitter=0.5), np.random.default_rng(2))
+        values = [corruptor.corrupt_numeric(100.0) for _ in range(20)]
+        assert any(value != 100.0 for value in values)
+
+    def test_deterministic_given_seed(self):
+        profile = CorruptionProfile(typo=0.5, drop_token=0.5)
+        first = Corruptor(profile, np.random.default_rng(9))
+        second = Corruptor(profile, np.random.default_rng(9))
+        values = [f"deterministic corruption check {i}" for i in range(10)]
+        assert [first.corrupt_string(v) for v in values] == [second.corrupt_string(v) for v in values]

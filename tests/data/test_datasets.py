@@ -1,0 +1,68 @@
+"""Unit tests for the named benchmark-analogue datasets (Table 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import (
+    DATASET_BUILDERS,
+    PRIMARY_DATASETS,
+    load_dataset,
+    table2_statistics,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestLoadDataset:
+    def test_all_builders_produce_workloads(self):
+        for name in DATASET_BUILDERS:
+            workload = load_dataset(name, scale=0.1)
+            assert len(workload) > 0
+            assert workload.num_matches > 0
+            assert workload.name == name
+
+    def test_case_insensitive(self):
+        assert load_dataset("ds", scale=0.1).name == "DS"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_dataset("XX")
+
+    def test_seed_override_changes_content(self):
+        first = load_dataset("AB", scale=0.1, seed=1)
+        second = load_dataset("AB", scale=0.1, seed=2)
+        assert [p.pair_id for p in first] != [p.pair_id for p in second]
+
+    def test_scale_grows_workload(self):
+        small = load_dataset("AG", scale=0.1)
+        large = load_dataset("AG", scale=0.3)
+        assert len(large) > len(small)
+
+
+class TestTable2Shape:
+    """The generated workloads must preserve the *shape* of Table 2."""
+
+    def test_attribute_counts(self):
+        expected_attributes = {"DS": 4, "AB": 3, "AG": 4, "SG": 7}
+        for name, expected in expected_attributes.items():
+            workload = load_dataset(name, scale=0.1)
+            assert workload.num_attributes == expected
+
+    def test_every_primary_dataset_is_imbalanced(self):
+        for name in PRIMARY_DATASETS:
+            workload = load_dataset(name, scale=0.15)
+            assert workload.match_rate() < 0.2
+
+    def test_ab_most_imbalanced(self):
+        rates = {name: load_dataset(name, scale=0.2).match_rate() for name in PRIMARY_DATASETS}
+        assert rates["AB"] == min(rates.values())
+
+    def test_sg_is_largest(self):
+        sizes = {name: len(load_dataset(name, scale=0.2)) for name in PRIMARY_DATASETS}
+        assert sizes["SG"] == max(sizes.values())
+
+    def test_table2_statistics_rows(self):
+        rows = table2_statistics(scale=0.1)
+        assert [row["dataset"] for row in rows] == list(PRIMARY_DATASETS)
+        for row in rows:
+            assert row["size"] > row["matches"] > 0

@@ -1,0 +1,130 @@
+"""Unit tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generators import (
+    BibliographicGenerator,
+    GenerationConfig,
+    ProductGenerator,
+    SoftwareGenerator,
+    SongGenerator,
+    available_domains,
+    generate_workload,
+    make_generator,
+    scale_config,
+    workload_summary,
+)
+from repro.exceptions import ConfigurationError
+
+ALL_GENERATORS = [BibliographicGenerator, ProductGenerator, SoftwareGenerator, SongGenerator]
+
+
+@pytest.fixture(scope="module")
+def small_config() -> GenerationConfig:
+    return GenerationConfig(n_base_entities=40, negative_ratio=5.0, seed=3)
+
+
+class TestDomainGenerators:
+    @pytest.mark.parametrize("generator_class", ALL_GENERATORS)
+    def test_entities_cover_schema(self, generator_class):
+        generator = generator_class()
+        rng = np.random.default_rng(0)
+        entity = generator.sample_entity(rng, family=0, index=0)
+        for attribute in generator.schema:
+            assert attribute.name in entity.values
+
+    @pytest.mark.parametrize("generator_class", ALL_GENERATORS)
+    def test_variant_shares_family_but_differs(self, generator_class):
+        generator = generator_class()
+        rng = np.random.default_rng(1)
+        base = generator.sample_entity(rng, family=7, index=0)
+        variant = generator.make_variant(base, rng, index=1)
+        assert variant.family == base.family
+        assert variant.entity_id != base.entity_id
+        assert variant.values != base.values
+
+    def test_bibliographic_minimal_variant_changes_only_year(self):
+        generator = BibliographicGenerator()
+        rng = np.random.default_rng(0)
+        base = generator.sample_entity(rng, family=0, index=0)
+        minimal_found = False
+        for index in range(40):
+            variant = generator.make_variant(base, np.random.default_rng(index), index)
+            if variant.values["title"] == base.values["title"] and \
+               variant.values["authors"] == base.values["authors"]:
+                assert variant.values["year"] != base.values["year"]
+                minimal_found = True
+                break
+        assert minimal_found, "expected some minimal (year-only) variants"
+
+    def test_venue_abbreviation_rewrite(self):
+        generator = BibliographicGenerator(venue_abbreviation_rate=1.0)
+        values = {"venue": "International Conference on Management of Data"}
+        rewritten = generator.rewrite_for_right(values, np.random.default_rng(0))
+        assert rewritten["venue"] == "SIGMOD"
+
+
+class TestGenerateWorkload:
+    def test_workload_shape(self, small_config):
+        workload = generate_workload(BibliographicGenerator(), small_config, name="test")
+        stats = workload.statistics()
+        assert stats["matches"] > 0
+        assert stats["size"] >= stats["matches"]
+        imbalance = (stats["size"] - stats["matches"]) / stats["matches"]
+        assert imbalance == pytest.approx(small_config.negative_ratio, rel=0.4)
+
+    def test_all_matches_refer_to_same_entity(self, small_config):
+        workload = generate_workload(BibliographicGenerator(), small_config, name="test")
+        for pair in workload.pairs:
+            if pair.ground_truth == 1:
+                left_entity = pair.left.record_id.removeprefix("L-")
+                right_entity = pair.right.record_id.removeprefix("R-")
+                assert left_entity == right_entity
+
+    def test_non_matches_are_distinct_entities(self, small_config):
+        workload = generate_workload(SongGenerator(), small_config, name="test")
+        for pair in workload.pairs:
+            if pair.ground_truth == 0:
+                assert pair.left.record_id.removeprefix("L-") != pair.right.record_id.removeprefix("R-")
+
+    def test_deterministic_given_seed(self, small_config):
+        first = generate_workload(ProductGenerator(), small_config, name="test")
+        second = generate_workload(ProductGenerator(), small_config, name="test")
+        assert [p.pair_id for p in first] == [p.pair_id for p in second]
+        assert first.pairs[0].left.values == second.pairs[0].left.values
+
+    def test_summary_contains_imbalance(self, small_config):
+        workload = generate_workload(SoftwareGenerator(), small_config, name="test")
+        summary = workload_summary(workload)
+        assert summary["name"] == "test"
+        assert summary["imbalance"] > 1.0
+
+
+class TestConfigValidation:
+    def test_too_few_entities_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GenerationConfig(n_base_entities=5)
+
+    def test_invalid_negative_ratio_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GenerationConfig(negative_ratio=0.5)
+
+    def test_scale_config(self, small_config):
+        scaled = scale_config(small_config, 2.0)
+        assert scaled.n_base_entities == 80
+        with pytest.raises(ConfigurationError):
+            scale_config(small_config, 0.0)
+
+
+class TestRegistry:
+    def test_available_domains(self):
+        domains = available_domains()
+        assert set(domains) == {"bibliographic", "product", "software", "song"}
+
+    def test_make_generator(self):
+        assert isinstance(make_generator("song"), SongGenerator)
+        with pytest.raises(ConfigurationError):
+            make_generator("unknown")

@@ -1,0 +1,71 @@
+"""Unit tests for CSV import/export of tables and workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.io import (
+    export_workload,
+    import_workload,
+    read_pairs,
+    read_table,
+    write_pairs,
+    write_table,
+)
+from repro.data.workload import Workload
+from repro.exceptions import DataError
+
+
+class TestTableRoundTrip:
+    def test_write_and_read_table(self, tmp_path, ds_workload):
+        path = write_table(ds_workload.left_table, tmp_path / "left.csv")
+        restored = read_table(path, ds_workload.left_table.schema, name="restored")
+        assert len(restored) == len(ds_workload.left_table)
+        original = next(iter(ds_workload.left_table))
+        assert restored[original.record_id]["title"] == original["title"]
+
+    def test_numeric_values_parsed(self, tmp_path, ds_workload):
+        path = write_table(ds_workload.left_table, tmp_path / "left.csv")
+        restored = read_table(path, ds_workload.left_table.schema)
+        years = [record["year"] for record in restored if record["year"] is not None]
+        assert years and all(isinstance(year, (int, float)) for year in years)
+
+    def test_missing_values_round_trip_as_none(self, tmp_path, ds_workload):
+        original_missing = sum(
+            1 for record in ds_workload.right_table if record["year"] is None
+        )
+        path = write_table(ds_workload.right_table, tmp_path / "right.csv")
+        restored = read_table(path, ds_workload.right_table.schema)
+        restored_missing = sum(1 for record in restored if record["year"] is None)
+        assert restored_missing == original_missing
+
+    def test_missing_file_raises(self, tmp_path, paper_schema):
+        with pytest.raises(DataError):
+            read_table(tmp_path / "nope.csv", paper_schema)
+
+
+class TestPairsRoundTrip:
+    def test_write_and_read_pairs(self, tmp_path):
+        pairs = [("l1", "r1"), ("l2", "r9")]
+        path = write_pairs(pairs, tmp_path / "pairs.csv")
+        assert read_pairs(path) == pairs
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DataError):
+            read_pairs(tmp_path / "nope.csv")
+
+
+class TestWorkloadRoundTrip:
+    def test_export_import_preserves_statistics(self, tmp_path, ds_workload):
+        export_workload(ds_workload, tmp_path)
+        restored = import_workload(tmp_path, ds_workload.name, ds_workload.left_table.schema)
+        assert restored.statistics() == ds_workload.statistics()
+        assert {p.pair_id for p in restored} == {p.pair_id for p in ds_workload}
+        restored_labels = {p.pair_id: p.ground_truth for p in restored}
+        for pair in ds_workload:
+            assert restored_labels[pair.pair_id] == pair.ground_truth
+
+    def test_export_requires_tables(self, tmp_path, ds_workload):
+        bare = Workload("bare", ds_workload.pairs[:5])
+        with pytest.raises(DataError):
+            export_workload(bare, tmp_path)

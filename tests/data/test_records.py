@@ -1,0 +1,98 @@
+"""Unit tests for records, tables and record pairs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.records import MATCH, UNMATCH, Record, RecordPair, Table, pairs_from_ids
+from repro.exceptions import DataError, SchemaError
+
+
+def _record(record_id: str, **values) -> Record:
+    return Record(record_id=record_id, values=values)
+
+
+class TestRecord:
+    def test_getitem_and_get(self):
+        record = _record("r1", title="Paper", year=None)
+        assert record["title"] == "Paper"
+        assert record["missing"] is None
+        assert record.get("year", 2000) == 2000
+
+    def test_is_missing(self):
+        record = _record("r1", title="  ", year=1999)
+        assert record.is_missing("title")
+        assert not record.is_missing("year")
+        assert record.is_missing("absent")
+
+    def test_as_dict_copy(self):
+        record = _record("r1", title="Paper")
+        copy = record.as_dict()
+        copy["title"] = "changed"
+        assert record["title"] == "Paper"
+
+
+class TestTable:
+    def test_add_and_lookup(self, paper_schema):
+        table = Table("left", paper_schema)
+        table.add(_record("r1", title="A", authors="X", venue="V", year=2000))
+        assert len(table) == 1
+        assert "r1" in table
+        assert table["r1"]["title"] == "A"
+
+    def test_unknown_attribute_rejected(self, paper_schema):
+        table = Table("left", paper_schema)
+        with pytest.raises(SchemaError):
+            table.add(_record("r1", bogus="value"))
+
+    def test_duplicate_id_rejected(self, paper_schema):
+        table = Table("left", paper_schema)
+        table.add(_record("r1", title="A"))
+        with pytest.raises(DataError):
+            table.add(_record("r1", title="B"))
+
+    def test_missing_id_raises(self, paper_schema):
+        table = Table("left", paper_schema)
+        with pytest.raises(DataError):
+            table["nope"]
+
+    def test_column(self, paper_schema):
+        table = Table("left", paper_schema)
+        table.add(_record("r1", title="A", year=2000))
+        table.add(_record("r2", title="B", year=2001))
+        assert table.column("year") == [2000, 2001]
+        with pytest.raises(SchemaError):
+            table.column("bogus")
+
+
+class TestRecordPair:
+    def test_equivalence_and_mislabel(self, paper_pair):
+        assert paper_pair.is_equivalent()
+        labeled = paper_pair.with_prediction(UNMATCH, 0.2)
+        assert labeled.is_mislabeled()
+        correct = paper_pair.with_prediction(MATCH, 0.9)
+        assert not correct.is_mislabeled()
+
+    def test_missing_ground_truth_raises(self):
+        pair = RecordPair(_record("l", title="x"), _record("r", title="x"))
+        with pytest.raises(DataError):
+            pair.is_equivalent()
+        with pytest.raises(DataError):
+            pair.is_mislabeled()
+
+    def test_values_and_pair_id(self, paper_pair):
+        assert paper_pair.pair_id == ("l1", "r1")
+        left_year, right_year = paper_pair.values("year")
+        assert left_year == right_year == 1994
+
+
+class TestPairsFromIds:
+    def test_ground_truth_assignment(self, paper_schema):
+        left = Table("left", paper_schema)
+        right = Table("right", paper_schema)
+        left.add(_record("l1", title="A"))
+        left.add(_record("l2", title="B"))
+        right.add(_record("r1", title="A"))
+        pairs = pairs_from_ids(left, right, [("l1", "r1"), ("l2", "r1")], matches=[("l1", "r1")])
+        assert pairs[0].ground_truth == MATCH
+        assert pairs[1].ground_truth == UNMATCH

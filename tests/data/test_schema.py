@@ -1,0 +1,51 @@
+"""Unit tests for schemas and attribute typing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.schema import Attribute, AttributeType, Schema
+from repro.exceptions import SchemaError
+
+
+class TestAttribute:
+    def test_string_and_numeric_flags(self):
+        assert Attribute("title", AttributeType.TEXT).is_string()
+        assert not Attribute("year", AttributeType.NUMERIC).is_string()
+        assert Attribute("year", AttributeType.NUMERIC).is_numeric()
+
+    def test_default_separator(self):
+        assert Attribute("authors", AttributeType.ENTITY_SET).separator == ","
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema((Attribute("a", AttributeType.TEXT), Attribute("a", AttributeType.NUMERIC)))
+
+    def test_from_mapping_preserves_order(self):
+        schema = Schema.from_mapping({"title": AttributeType.TEXT, "year": AttributeType.NUMERIC})
+        assert schema.names == ("title", "year")
+
+    def test_lookup(self, paper_schema):
+        assert paper_schema["year"].attr_type is AttributeType.NUMERIC
+        assert "title" in paper_schema
+        assert "missing" not in paper_schema
+        with pytest.raises(SchemaError):
+            paper_schema["missing"]
+
+    def test_get_with_default(self, paper_schema):
+        assert paper_schema.get("missing") is None
+        assert paper_schema.get("title").name == "title"
+
+    def test_subset(self, paper_schema):
+        subset = paper_schema.subset(["year", "title"])
+        assert subset.names == ("year", "title")
+
+    def test_of_type(self, paper_schema):
+        names = [attribute.name for attribute in paper_schema.of_type(AttributeType.TEXT)]
+        assert names == ["title"]
+
+    def test_len_and_iter(self, paper_schema):
+        assert len(paper_schema) == 4
+        assert [attribute.name for attribute in paper_schema] == list(paper_schema.names)

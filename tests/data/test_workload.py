@@ -1,0 +1,94 @@
+"""Unit and property tests for workloads and splits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.records import MATCH
+from repro.data.workload import split_workload
+from repro.exceptions import ConfigurationError
+
+
+class TestWorkloadBasics:
+    def test_statistics(self, ds_workload):
+        stats = ds_workload.statistics()
+        assert stats["size"] == len(ds_workload)
+        assert stats["matches"] == ds_workload.num_matches
+        assert stats["attributes"] == 4
+
+    def test_labels_match_pairs(self, ds_workload):
+        labels = ds_workload.labels()
+        assert labels.sum() == ds_workload.num_matches
+        assert set(np.unique(labels)) <= {0, 1}
+
+    def test_match_rate(self, ds_workload):
+        assert 0.0 < ds_workload.match_rate() < 0.5
+
+    def test_subset_and_filter(self, ds_workload):
+        subset = ds_workload.subset([0, 1, 2])
+        assert len(subset) == 3
+        matches_only = ds_workload.filter(lambda pair: pair.ground_truth == MATCH)
+        assert len(matches_only) == ds_workload.num_matches
+
+    def test_sample_deterministic(self, ds_workload):
+        first = ds_workload.sample(25, seed=5)
+        second = ds_workload.sample(25, seed=5)
+        assert [p.pair_id for p in first] == [p.pair_id for p in second]
+
+    def test_sample_too_large_raises(self, tiny_workload):
+        with pytest.raises(ConfigurationError):
+            tiny_workload.sample(len(tiny_workload) + 1)
+
+
+class TestSplitWorkload:
+    def test_partition_is_complete_and_disjoint(self, ds_workload):
+        split = split_workload(ds_workload, ratio=(3, 2, 5), seed=0)
+        ids = [set(p.pair_id for p in part) for part in (split.train, split.validation, split.test)]
+        assert len(ids[0] | ids[1] | ids[2]) == len(ds_workload)
+        assert not (ids[0] & ids[1]) and not (ids[0] & ids[2]) and not (ids[1] & ids[2])
+
+    def test_ratio_respected(self, ds_workload):
+        split = split_workload(ds_workload, ratio=(3, 2, 5), seed=0)
+        realised = split.ratio
+        assert realised[0] == pytest.approx(0.3, abs=0.03)
+        assert realised[1] == pytest.approx(0.2, abs=0.03)
+        assert realised[2] == pytest.approx(0.5, abs=0.03)
+
+    def test_stratification_preserves_match_rate(self, ds_workload):
+        split = split_workload(ds_workload, ratio=(3, 2, 5), seed=1)
+        overall = ds_workload.match_rate()
+        for part in (split.train, split.validation, split.test):
+            assert part.match_rate() == pytest.approx(overall, abs=0.05)
+
+    def test_deterministic_given_seed(self, ds_workload):
+        first = split_workload(ds_workload, seed=7)
+        second = split_workload(ds_workload, seed=7)
+        assert [p.pair_id for p in first.train] == [p.pair_id for p in second.train]
+
+    def test_different_seeds_differ(self, ds_workload):
+        first = split_workload(ds_workload, seed=1)
+        second = split_workload(ds_workload, seed=2)
+        assert [p.pair_id for p in first.train] != [p.pair_id for p in second.train]
+
+    def test_invalid_ratio_rejected(self, ds_workload):
+        with pytest.raises(ConfigurationError):
+            split_workload(ds_workload, ratio=(1, 2))  # type: ignore[arg-type]
+        with pytest.raises(ConfigurationError):
+            split_workload(ds_workload, ratio=(0, 0, 0))
+
+    def test_zero_train_part_allowed(self, ds_workload):
+        split = split_workload(ds_workload, ratio=(0, 3, 7), seed=0)
+        assert len(split.train) == 0
+        assert len(split.validation) > 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           first=st.integers(min_value=1, max_value=5),
+           second=st.integers(min_value=1, max_value=5),
+           third=st.integers(min_value=1, max_value=5))
+    def test_split_always_partitions(self, ds_workload, seed, first, second, third):
+        split = split_workload(ds_workload, ratio=(first, second, third), seed=seed)
+        assert len(split.train) + len(split.validation) + len(split.test) == len(ds_workload)

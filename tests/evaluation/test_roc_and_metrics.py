@@ -1,0 +1,119 @@
+"""Unit and property tests for ROC/AUROC and classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import (
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_at_budget,
+    recall_score,
+)
+from repro.evaluation.roc import auroc_score, mislabel_indicator, roc_curve
+from repro.exceptions import DataError
+
+
+class TestRocCurve:
+    def test_perfect_ranking(self):
+        labels = np.array([1, 1, 0, 0])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        curve = roc_curve(labels, scores)
+        assert curve.auroc == pytest.approx(1.0)
+        assert auroc_score(labels, scores) == pytest.approx(1.0)
+
+    def test_inverted_ranking(self):
+        labels = np.array([1, 1, 0, 0])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auroc_score(labels, scores) == pytest.approx(0.0)
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=2000)
+        scores = rng.random(2000)
+        assert auroc_score(labels, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_get_half_credit(self):
+        labels = np.array([1, 0, 1, 0])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        assert auroc_score(labels, scores) == pytest.approx(0.5)
+
+    def test_curve_monotone_and_bounded(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, size=300)
+        scores = rng.random(300)
+        curve = roc_curve(labels, scores)
+        assert np.all(np.diff(curve.false_positive_rate) >= 0)
+        assert np.all(np.diff(curve.true_positive_rate) >= 0)
+        assert curve.true_positive_rate[0] == 0.0 and curve.true_positive_rate[-1] == 1.0
+        assert curve.false_positive_rate[-1] == 1.0
+
+    def test_trapezoid_matches_rank_formulation(self):
+        rng = np.random.default_rng(2)
+        labels = rng.integers(0, 2, size=500)
+        scores = rng.normal(size=500) + labels  # informative but noisy
+        assert roc_curve(labels, scores).auroc == pytest.approx(auroc_score(labels, scores), abs=1e-9)
+
+    def test_degenerate_inputs_rejected(self):
+        with pytest.raises(DataError):
+            auroc_score(np.array([1, 1]), np.array([0.1, 0.2]))
+        with pytest.raises(DataError):
+            roc_curve(np.array([]), np.array([]))
+        with pytest.raises(DataError):
+            auroc_score(np.array([0, 1]), np.array([0.5]))
+
+    def test_mislabel_indicator(self):
+        machine = np.array([1, 0, 1])
+        truth = np.array([1, 1, 0])
+        assert list(mislabel_indicator(machine, truth)) == [0, 1, 1]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 1), st.floats(0, 1)), min_size=4, max_size=60))
+    def test_auroc_bounded_and_complement(self, pairs):
+        labels = np.array([label for label, _ in pairs])
+        scores = np.array([score for _, score in pairs])
+        if labels.sum() in (0, len(labels)):
+            return
+        value = auroc_score(labels, scores)
+        assert 0.0 <= value <= 1.0
+        assert auroc_score(labels, -scores) == pytest.approx(1.0 - value, abs=1e-9)
+
+
+class TestClassificationMetrics:
+    def test_confusion_counts(self):
+        truth = np.array([1, 1, 0, 0, 1])
+        predictions = np.array([1, 0, 0, 1, 1])
+        matrix = confusion_matrix(truth, predictions)
+        assert (matrix.true_positives, matrix.false_negatives) == (2, 1)
+        assert (matrix.true_negatives, matrix.false_positives) == (1, 1)
+        assert matrix.total == 5
+        assert matrix.mislabel_rate() == pytest.approx(0.4)
+
+    def test_precision_recall_f1(self):
+        truth = np.array([1, 1, 0, 0])
+        predictions = np.array([1, 0, 0, 0])
+        assert precision_score(truth, predictions) == 1.0
+        assert recall_score(truth, predictions) == 0.5
+        assert f1_score(truth, predictions) == pytest.approx(2 / 3)
+
+    def test_zero_division_guards(self):
+        truth = np.array([0, 0])
+        predictions = np.array([0, 0])
+        assert precision_score(truth, predictions) == 0.0
+        assert recall_score(truth, predictions) == 0.0
+        assert f1_score(truth, predictions) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DataError):
+            f1_score(np.array([1, 0]), np.array([1]))
+
+    def test_recall_at_budget(self):
+        risk_labels = np.array([1, 0, 1, 0, 0])
+        risk_scores = np.array([0.9, 0.8, 0.7, 0.2, 0.1])
+        assert recall_at_budget(risk_labels, risk_scores, budget=1) == 0.5
+        assert recall_at_budget(risk_labels, risk_scores, budget=3) == 1.0
+        assert recall_at_budget(np.zeros(3, dtype=int), np.ones(3), budget=2) == 1.0

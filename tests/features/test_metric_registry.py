@@ -1,0 +1,68 @@
+"""Unit tests for the basic-metric registry (Figure 5 hierarchy)."""
+
+from __future__ import annotations
+
+from repro.data.schema import Attribute, AttributeType, Schema
+from repro.features.metric_registry import (
+    DIFFERENCE,
+    SIMILARITY,
+    count_metrics,
+    metrics_for_attribute,
+    metrics_for_schema,
+)
+
+
+class TestMetricsForAttribute:
+    def test_entity_name_gets_difference_metrics(self):
+        specs = metrics_for_attribute(Attribute("venue", AttributeType.ENTITY_NAME))
+        names = {spec.metric for spec in specs}
+        assert {"non_substring", "non_prefix", "abbr_non_substring", "abbr_non_prefix"} <= names
+        assert any(spec.kind == SIMILARITY for spec in specs)
+
+    def test_entity_set_gets_set_metrics(self):
+        specs = metrics_for_attribute(Attribute("authors", AttributeType.ENTITY_SET))
+        names = {spec.metric for spec in specs}
+        assert {"entity_jaccard", "diff_cardinality", "distinct_entity"} <= names
+
+    def test_text_gets_key_token_metric(self):
+        specs = metrics_for_attribute(Attribute("title", AttributeType.TEXT))
+        names = {spec.metric for spec in specs}
+        assert {"cosine_tfidf", "diff_key_token"} <= names
+
+    def test_numeric_inequality_is_difference_kind(self):
+        specs = metrics_for_attribute(Attribute("year", AttributeType.NUMERIC))
+        by_name = {spec.metric: spec for spec in specs}
+        assert by_name["numeric_inequality"].kind == DIFFERENCE
+        assert by_name["numeric_similarity"].kind == SIMILARITY
+
+    def test_categorical_gets_exact_match(self):
+        specs = metrics_for_attribute(Attribute("genre", AttributeType.CATEGORICAL))
+        assert {spec.metric for spec in specs} == {"exact", "edit"}
+
+    def test_qualified_names(self):
+        specs = metrics_for_attribute(Attribute("year", AttributeType.NUMERIC))
+        assert all(spec.name.startswith("year.") for spec in specs)
+
+
+class TestMetricsForSchema:
+    def test_counts(self, paper_schema):
+        specs = metrics_for_schema(paper_schema)
+        counts = count_metrics(specs)
+        assert counts["total"] == len(specs)
+        assert counts[SIMILARITY] + counts[DIFFERENCE] == counts["total"]
+        assert counts[DIFFERENCE] >= 5  # year, venue, authors, title difference metrics
+
+    def test_spec_callable_evaluates_metric(self, paper_schema):
+        specs = metrics_for_schema(paper_schema)
+        year_inequality = next(spec for spec in specs if spec.name == "year.numeric_inequality")
+        assert year_inequality(1994, 1996) == 1.0
+        assert year_inequality(1994, 1994) == 0.0
+
+    def test_idf_context_forwarded(self, paper_schema):
+        specs = metrics_for_schema(paper_schema)
+        cosine = next(spec for spec in specs if spec.name == "title.cosine_tfidf")
+        idf = {"indexing": 5.0, "for": 0.2}
+        with_context = cosine("indexing for databases", "indexing for graphs", {"idf": idf})
+        without_context = cosine("indexing for databases", "indexing for graphs", {})
+        assert 0.0 <= with_context <= 1.0
+        assert with_context != without_context

@@ -1,0 +1,58 @@
+"""Unit tests for the pair vectoriser."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.features.vectorizer import PairVectorizer
+
+
+class TestPairVectorizer:
+    def test_requires_fit_before_transform(self, paper_schema, paper_pair):
+        vectorizer = PairVectorizer(paper_schema)
+        with pytest.raises(NotFittedError):
+            vectorizer.transform([paper_pair])
+
+    def test_transform_shape_and_names(self, paper_schema, paper_pair, paper_non_pair):
+        vectorizer = PairVectorizer(paper_schema).fit(None, None)
+        matrix = vectorizer.transform([paper_pair, paper_non_pair])
+        assert matrix.shape == (2, vectorizer.n_features)
+        assert len(vectorizer.feature_names) == vectorizer.n_features
+        assert len(set(vectorizer.feature_names)) == vectorizer.n_features
+
+    def test_values_bounded(self, ds_workload):
+        vectorizer = PairVectorizer(ds_workload.left_table.schema)
+        matrix = vectorizer.fit_transform(ds_workload.sample(60, seed=0))
+        assert np.all(matrix >= 0.0)
+        assert np.all(matrix <= 1.0)
+        assert np.all(np.isfinite(matrix))
+
+    def test_matching_pair_more_similar_than_non_matching(self, paper_schema, paper_pair, paper_non_pair):
+        vectorizer = PairVectorizer(paper_schema).fit(None, None)
+        year_column = vectorizer.metric_index("year.numeric_inequality")
+        match_row = vectorizer.transform_pair(paper_pair)
+        non_match_row = vectorizer.transform_pair(paper_non_pair)
+        assert match_row[year_column] == 0.0
+        assert non_match_row[year_column] == 1.0
+
+    def test_metric_index_unknown(self, paper_schema):
+        vectorizer = PairVectorizer(paper_schema)
+        with pytest.raises(KeyError):
+            vectorizer.metric_index("nope.metric")
+
+    def test_empty_input(self, paper_schema):
+        vectorizer = PairVectorizer(paper_schema).fit(None, None)
+        assert vectorizer.transform([]).shape == (0, vectorizer.n_features)
+
+    def test_fit_workload_uses_idf(self, ds_workload):
+        fitted = PairVectorizer(ds_workload.left_table.schema).fit_workload(ds_workload)
+        assert fitted._idf_by_attribute  # fitted IDF tables for text attributes
+        assert "title" in fitted._idf_by_attribute
+
+    def test_deterministic(self, ds_workload):
+        sample = ds_workload.sample(40, seed=1)
+        first = PairVectorizer(ds_workload.left_table.schema).fit_workload(ds_workload).transform(sample.pairs)
+        second = PairVectorizer(ds_workload.left_table.schema).fit_workload(ds_workload).transform(sample.pairs)
+        assert np.array_equal(first, second)

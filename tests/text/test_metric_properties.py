@@ -1,0 +1,94 @@
+"""Property-based tests (hypothesis) for the similarity and difference metrics.
+
+Invariants checked: every metric is bounded in [0, 1], symmetric metrics are
+symmetric, identity scores 1.0 (similarities) or 0.0 (differences), and the
+Levenshtein distance satisfies the triangle inequality.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.difference import (
+    diff_cardinality,
+    diff_key_token_fraction,
+    distinct_entity_fraction,
+    non_prefix,
+    non_substring,
+    non_suffix,
+    numeric_difference,
+)
+from repro.text.similarity import (
+    dice_similarity,
+    edit_similarity,
+    jaccard_similarity,
+    jaro_winkler_similarity,
+    lcs_similarity,
+    levenshtein_distance,
+    monge_elkan_similarity,
+    ngram_jaccard_similarity,
+    numeric_similarity,
+    overlap_coefficient,
+)
+
+# Text strategy: realistic attribute values including punctuation and spaces.
+text_values = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters=" ,.-"),
+    max_size=40,
+)
+
+SYMMETRIC_SIMILARITIES = [
+    edit_similarity, jaccard_similarity, overlap_coefficient, dice_similarity,
+    ngram_jaccard_similarity, lcs_similarity, numeric_similarity,
+]
+
+BOUNDED_METRICS = SYMMETRIC_SIMILARITIES + [
+    jaro_winkler_similarity, monge_elkan_similarity,
+    non_substring, non_prefix, non_suffix,
+    diff_cardinality, distinct_entity_fraction, diff_key_token_fraction,
+    numeric_difference,
+]
+
+
+@settings(max_examples=60, deadline=None)
+@given(left=text_values, right=text_values)
+def test_metrics_bounded(left, right):
+    for metric in BOUNDED_METRICS:
+        value = metric(left, right)
+        assert 0.0 <= value <= 1.0, f"{metric.__name__} out of range for {left!r}/{right!r}"
+
+
+@settings(max_examples=60, deadline=None)
+@given(left=text_values, right=text_values)
+def test_symmetric_similarities(left, right):
+    for metric in SYMMETRIC_SIMILARITIES:
+        assert metric(left, right) == metric(right, left)
+
+
+@settings(max_examples=60, deadline=None)
+@given(value=text_values)
+def test_similarity_identity(value):
+    for metric in SYMMETRIC_SIMILARITIES:
+        assert metric(value, value) == 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(value=text_values)
+def test_difference_identity_is_zero(value):
+    for metric in (non_substring, non_prefix, non_suffix, diff_cardinality,
+                   distinct_entity_fraction, diff_key_token_fraction):
+        assert metric(value, value) == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=st.text(max_size=12), b=st.text(max_size=12), c=st.text(max_size=12))
+def test_levenshtein_triangle_inequality(a, b, c):
+    assert levenshtein_distance(a, c) <= levenshtein_distance(a, b) + levenshtein_distance(b, c)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=st.text(max_size=15), b=st.text(max_size=15))
+def test_levenshtein_symmetry_and_identity(a, b):
+    assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+    assert levenshtein_distance(a, a) == 0
