@@ -1,0 +1,123 @@
+"""Serving throughput: pairs/sec and cache hit-rate of RiskService.
+
+Measures the serving layer the way an operator would: a pipeline is fitted
+once, saved, reloaded, and then the same test traffic is pushed through
+:class:`repro.serve.RiskService` in three regimes:
+
+* **cold** — empty vectorisation cache, every pair pays full vectorisation;
+* **warm** — the same pairs again, served from the LRU cache;
+* **uncached** — the same repeat traffic with the cache disabled (the control
+  that isolates the cache's contribution).
+
+The reported claims: the warm pass is measurably faster than both the cold
+pass and the uncached control (vectorisation dominates scoring cost), and the
+warm-pass hit rate is 100%.
+
+Run directly (``python benchmarks/bench_serving_throughput.py``) or through
+pytest-benchmark (``pytest benchmarks/bench_serving_throughput.py``).
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.classifiers import MLPClassifier
+from repro.data import load_dataset, split_workload
+from repro.pipeline import LearnRiskPipeline
+from repro.risk.onesided_tree import OneSidedTreeConfig
+from repro.risk.training import TrainingConfig
+from repro.serve import RiskService, ServiceStats, load_pipeline, save_pipeline
+
+
+def run_serving_benchmark(
+    scale: float = 0.5, batch_size: int = 128, cache_size: int = 8192, repeats: int = 3
+) -> dict[str, float]:
+    """Fit, save, reload and serve; returns the throughput/cache measurements."""
+    workload = load_dataset("DS", scale=scale)
+    split = split_workload(workload, ratio=(3, 2, 5), seed=0)
+    pipeline = LearnRiskPipeline(
+        classifier=MLPClassifier(hidden_sizes=(32, 16), epochs=30, seed=0),
+        tree_config=OneSidedTreeConfig(max_depth=2, min_support=4, max_thresholds=32),
+        training_config=TrainingConfig(epochs=60),
+        seed=0,
+    )
+    pipeline.fit(split.train, split.validation)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        save_pipeline(pipeline, Path(tmp) / "model")
+        served = load_pipeline(Path(tmp) / "model")
+
+    pairs = split.test.pairs
+    service = RiskService(served, max_batch_size=batch_size, cache_size=cache_size)
+
+    service.stats = ServiceStats()
+    service.score_pairs(pairs)
+    cold = service.stats.snapshot()
+
+    service.stats = ServiceStats()
+    for _ in range(repeats):
+        service.score_pairs(pairs)
+    warm = service.stats.snapshot()
+
+    uncached_service = RiskService(served, max_batch_size=batch_size, cache_size=0)
+    uncached_service.score_pairs(pairs)  # parity with the cold pass
+    uncached_service.stats = ServiceStats()
+    for _ in range(repeats):
+        uncached_service.score_pairs(pairs)
+    uncached = uncached_service.stats.snapshot()
+
+    return {
+        "n_pairs": float(len(pairs)),
+        "batch_size": float(batch_size),
+        "cold_pairs_per_second": cold["pairs_per_second"],
+        "warm_pairs_per_second": warm["pairs_per_second"],
+        "uncached_pairs_per_second": uncached["pairs_per_second"],
+        "warm_cache_hit_rate": warm["cache_hit_rate"],
+        "cache_speedup_vs_cold": (
+            warm["pairs_per_second"] / cold["pairs_per_second"]
+            if cold["pairs_per_second"] else 0.0
+        ),
+        "cache_speedup_vs_uncached": (
+            warm["pairs_per_second"] / uncached["pairs_per_second"]
+            if uncached["pairs_per_second"] else 0.0
+        ),
+    }
+
+
+def format_results(results: dict[str, float]) -> str:
+    lines = [
+        "Serving throughput — RiskService on the DS analogue test split",
+        f"  pairs per pass        : {int(results['n_pairs'])}",
+        f"  micro-batch size      : {int(results['batch_size'])}",
+        f"  cold throughput       : {results['cold_pairs_per_second']:.0f} pairs/s",
+        f"  warm throughput       : {results['warm_pairs_per_second']:.0f} pairs/s",
+        f"  uncached (control)    : {results['uncached_pairs_per_second']:.0f} pairs/s",
+        f"  warm cache hit rate   : {results['warm_cache_hit_rate']:.0%}",
+        f"  speedup vs cold       : {results['cache_speedup_vs_cold']:.1f}x",
+        f"  speedup vs uncached   : {results['cache_speedup_vs_uncached']:.1f}x",
+    ]
+    return "\n".join(lines)
+
+
+def test_serving_throughput(benchmark):
+    from conftest import bench_scale, write_result
+
+    results = benchmark.pedantic(
+        lambda: run_serving_benchmark(scale=bench_scale()), rounds=1, iterations=1
+    )
+    write_result("serving_throughput", format_results(results))
+    benchmark.extra_info.update({key: round(value, 3) for key, value in results.items()})
+
+    assert results["warm_cache_hit_rate"] == 1.0
+    # The LRU cache must yield a measurable speedup on repeated pairs.
+    assert results["cache_speedup_vs_cold"] > 1.1
+    assert results["cache_speedup_vs_uncached"] > 1.1
+
+
+if __name__ == "__main__":
+    measured = run_serving_benchmark(
+        scale=float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    )
+    print(format_results(measured))

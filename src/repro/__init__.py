@@ -45,19 +45,22 @@ from .risk import (
     RiskFeatureGenerator,
     TrainingConfig,
 )
+from .serve import ModelRegistry, RiskService, load_pipeline, save_pipeline
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "GeneratedRiskFeatures",
     "LearnRiskModel",
     "LearnRiskPipeline",
     "MATCH",
+    "ModelRegistry",
     "OneSidedTreeConfig",
     "Record",
     "RecordPair",
     "RiskFeatureGenerator",
     "RiskReport",
+    "RiskService",
     "Schema",
     "Table",
     "TrainingConfig",
@@ -65,11 +68,13 @@ __all__ = [
     "Workload",
     "auroc_score",
     "load_dataset",
+    "load_pipeline",
     "run_comparative_experiment",
     "run_holoclean_comparison",
     "run_ood_experiment",
     "run_scalability_experiment",
     "run_sensitivity_experiment",
+    "save_pipeline",
     "split_workload",
     "__version__",
 ]

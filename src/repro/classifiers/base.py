@@ -10,14 +10,34 @@ uniformly (the risk model only ever consumes ``predict_proba``).
 from __future__ import annotations
 
 import abc
+from typing import Any, ClassVar, Mapping
 
 import numpy as np
 
-from ..exceptions import DataError, NotFittedError
+from ..exceptions import DataError, NotFittedError, PersistenceError
+from ..serialization import require_state
 
 
 class BaseClassifier(abc.ABC):
-    """Abstract base class for the feature-matrix ER classifiers."""
+    """Abstract base class for the feature-matrix ER classifiers.
+
+    Subclasses that declare a ``state_kind`` string participate in the
+    persistence protocol: they implement ``to_state()`` / ``from_state()`` and
+    are automatically registered so :func:`classifier_from_state` can rebuild
+    any saved classifier from its ``kind`` tag alone.
+    """
+
+    #: Persistence identifier; subclasses supporting save/load override this.
+    state_kind: ClassVar[str | None] = None
+    state_version: ClassVar[int] = 1
+
+    _state_registry: ClassVar[dict[str, type["BaseClassifier"]]] = {}
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        kind = cls.__dict__.get("state_kind")
+        if kind is not None:
+            BaseClassifier._state_registry[kind] = cls
 
     def __init__(self) -> None:
         self._fitted = False
@@ -34,6 +54,32 @@ class BaseClassifier(abc.ABC):
     def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
         """Return hard 0/1 labels by thresholding :meth:`predict_proba`."""
         return (self.predict_proba(features) >= threshold).astype(int)
+
+    # ------------------------------------------------------------ persistence
+    def to_state(self) -> dict:
+        """Export the fitted classifier as a JSON-safe state dict."""
+        raise PersistenceError(f"{type(self).__name__} does not support persistence")
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "BaseClassifier":
+        """Rebuild a classifier written by :meth:`to_state`."""
+        raise PersistenceError(f"{cls.__name__} does not support persistence")
+
+    def _state_envelope(self, payload: Mapping[str, Any]) -> dict:
+        """Wrap ``payload`` in this class's ``kind`` / ``version`` envelope."""
+        if self.state_kind is None:
+            raise PersistenceError(f"{type(self).__name__} declares no state_kind")
+        state: dict[str, Any] = {"kind": self.state_kind, "version": self.state_version,
+                                 "fitted": self._fitted}
+        state.update(payload)
+        return state
+
+    @classmethod
+    def _validated_state(cls, state: Mapping[str, Any]) -> dict:
+        """Check the envelope of a state dict destined for this class."""
+        if cls.state_kind is None:
+            raise PersistenceError(f"{cls.__name__} declares no state_kind")
+        return require_state(state, cls.state_kind, cls.state_version)
 
     # --------------------------------------------------------------- helpers
     def _check_fitted(self) -> None:
@@ -69,6 +115,22 @@ class BaseClassifier(abc.ABC):
         weights[labels == 1] = len(labels) / (2.0 * n_positive)
         weights[labels == 0] = len(labels) / (2.0 * n_negative)
         return weights
+
+
+def classifier_from_state(state: Mapping[str, Any]) -> BaseClassifier:
+    """Rebuild any registered classifier from its state dict (dispatch on ``kind``)."""
+    import repro.classifiers  # noqa: F401 — ensure all subclasses are registered
+
+    if not isinstance(state, Mapping):
+        raise PersistenceError(
+            f"expected a classifier state mapping, got {type(state).__name__}"
+        )
+    kind = state.get("kind")
+    cls = BaseClassifier._state_registry.get(kind)
+    if cls is None:
+        known = sorted(BaseClassifier._state_registry)
+        raise PersistenceError(f"unknown classifier kind {kind!r}; known kinds: {known}")
+    return cls.from_state(state)
 
 
 def accuracy_score(labels: np.ndarray, predictions: np.ndarray) -> float:

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import ConfigurationError, NotFittedError
+from ..serialization import component_state, require_state, state_field
 
 
 class PlattCalibrator:
@@ -63,6 +64,33 @@ class PlattCalibrator:
     def fit_transform(self, scores: np.ndarray, labels: np.ndarray) -> np.ndarray:
         """Fit on the data and return the calibrated probabilities."""
         return self.fit(scores, labels).transform(scores)
+
+    # ------------------------------------------------------------ persistence
+    STATE_KIND = "platt_calibrator"
+    STATE_VERSION = 1
+
+    def to_state(self) -> dict:
+        """Export the fitted sigmoid parameters as a JSON-safe state dict."""
+        if self.slope_ is None or self.intercept_ is None:
+            raise NotFittedError("PlattCalibrator is not fitted yet")
+        return component_state(self.STATE_KIND, self.STATE_VERSION, {
+            "max_iterations": self.max_iterations,
+            "learning_rate": self.learning_rate,
+            "slope": self.slope_,
+            "intercept": self.intercept_,
+        })
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PlattCalibrator":
+        """Rebuild a calibrator written by :meth:`to_state`."""
+        state = require_state(state, cls.STATE_KIND, cls.STATE_VERSION)
+        calibrator = cls(
+            max_iterations=int(state.get("max_iterations", 500)),
+            learning_rate=float(state.get("learning_rate", 0.1)),
+        )
+        calibrator.slope_ = float(state_field(state, "slope", cls.STATE_KIND))
+        calibrator.intercept_ = float(state_field(state, "intercept", cls.STATE_KIND))
+        return calibrator
 
 
 def expected_calibration_error(

@@ -14,6 +14,7 @@ from typing import Callable
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..serialization import state_field
 from .base import BaseClassifier
 from .logistic import LogisticRegressionClassifier
 
@@ -88,3 +89,32 @@ class BootstrapEnsemble(BaseClassifier):
         for model in self.models:
             votes += (model.predict_proba(features) >= threshold).astype(float)
         return votes / len(self.models)
+
+    # ------------------------------------------------------------ persistence
+    state_kind = "bootstrap_ensemble"
+
+    def to_state(self) -> dict:
+        """Serialise the fitted members; the factory callable is not persisted.
+
+        A reloaded ensemble predicts identically (prediction only consults the
+        fitted members) but refitting it uses the default logistic factory.
+        """
+        self._check_fitted()
+        return self._state_envelope({
+            "n_models": self.n_models,
+            "seed": self.seed,
+            "models": [model.to_state() for model in self.models],
+        })
+
+    @classmethod
+    def from_state(cls, state: dict) -> "BootstrapEnsemble":
+        from .base import classifier_from_state
+
+        state = cls._validated_state(state)
+        ensemble = cls(n_models=int(state.get("n_models", 20)), seed=int(state.get("seed", 0)))
+        ensemble.models = [
+            classifier_from_state(model_state)
+            for model_state in state_field(state, "models", cls.state_kind)
+        ]
+        ensemble._fitted = bool(state.get("fitted", True))
+        return ensemble

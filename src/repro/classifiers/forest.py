@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..serialization import state_field
 from .base import BaseClassifier
 from .tree import DecisionTreeClassifier, TreeNode
 
@@ -81,6 +82,48 @@ class RandomForestClassifier(BaseClassifier):
         for tree in self.trees:
             probabilities += tree.predict_proba(features)
         return probabilities / len(self.trees)
+
+    # ------------------------------------------------------------ persistence
+    state_kind = "random_forest"
+
+    def to_state(self) -> dict:
+        self._check_fitted()
+        return self._state_envelope({
+            "n_trees": self.n_trees,
+            "max_depth": self.max_depth,
+            "min_samples_leaf": self.min_samples_leaf,
+            "class_weight": (
+                None if self.class_weight is None
+                else {str(label): float(weight) for label, weight in self.class_weight.items()}
+            ),
+            "max_features": self.max_features,
+            "seed": self.seed,
+            "trees": [tree.to_state() for tree in self.trees],
+        })
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RandomForestClassifier":
+        state = cls._validated_state(state)
+        class_weight = state.get("class_weight")
+        classifier = cls(
+            n_trees=int(state.get("n_trees", 20)),
+            max_depth=int(state.get("max_depth", 4)),
+            min_samples_leaf=int(state.get("min_samples_leaf", 5)),
+            class_weight=(
+                None if class_weight is None
+                else {int(label): float(weight) for label, weight in class_weight.items()}
+            ),
+            max_features=(
+                None if state.get("max_features") is None else int(state["max_features"])
+            ),
+            seed=int(state.get("seed", 0)),
+        )
+        classifier.trees = [
+            DecisionTreeClassifier.from_state(tree_state)
+            for tree_state in state_field(state, "trees", cls.state_kind)
+        ]
+        classifier._fitted = bool(state.get("fitted", True))
+        return classifier
 
 
 @dataclass(frozen=True)

@@ -12,6 +12,7 @@ import numpy as np
 
 from ..autodiff import Adam, Tensor, parameter
 from ..exceptions import ConfigurationError
+from ..serialization import as_float_array, state_field
 from .base import BaseClassifier
 
 
@@ -88,3 +89,39 @@ class LogisticRegressionClassifier(BaseClassifier):
         """The learned weight vector (useful for interpretability tests)."""
         self._check_fitted()
         return self._weights.data.copy()
+
+    # ------------------------------------------------------------ persistence
+    state_kind = "logistic_regression"
+
+    def to_state(self) -> dict:
+        self._check_fitted()
+        return self._state_envelope({
+            "learning_rate": self.learning_rate,
+            "epochs": self.epochs,
+            "l2": self.l2,
+            "balance_classes": self.balance_classes,
+            "seed": self.seed,
+            "weights": self._weights.data,
+            "bias": self._bias.data,
+            "feature_scale": self._feature_scale,
+        })
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LogisticRegressionClassifier":
+        state = cls._validated_state(state)
+        classifier = cls(
+            learning_rate=float(state.get("learning_rate", 0.05)),
+            epochs=int(state.get("epochs", 300)),
+            l2=float(state.get("l2", 1e-4)),
+            balance_classes=bool(state.get("balance_classes", True)),
+            seed=int(state.get("seed", 0)),
+        )
+        classifier._weights = parameter(as_float_array(
+            state_field(state, "weights", cls.state_kind), "weights", cls.state_kind))
+        classifier._bias = parameter(as_float_array(
+            state_field(state, "bias", cls.state_kind), "bias", cls.state_kind))
+        classifier._feature_scale = as_float_array(
+            state_field(state, "feature_scale", cls.state_kind), "feature_scale", cls.state_kind
+        )
+        classifier._fitted = bool(state.get("fitted", True))
+        return classifier

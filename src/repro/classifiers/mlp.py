@@ -16,6 +16,7 @@ import numpy as np
 
 from ..autodiff import Adam, Tensor, parameter
 from ..exceptions import ConfigurationError
+from ..serialization import as_float_array, state_field
 from .base import BaseClassifier
 
 
@@ -129,3 +130,53 @@ class MLPClassifier(BaseClassifier):
         scaled = (features - self._feature_mean) / self._feature_scale
         probabilities = self._forward(Tensor(scaled))
         return probabilities.numpy().copy()
+
+    # ------------------------------------------------------------ persistence
+    state_kind = "mlp"
+
+    def to_state(self) -> dict:
+        self._check_fitted()
+        return self._state_envelope({
+            "hidden_sizes": list(self.hidden_sizes),
+            "learning_rate": self.learning_rate,
+            "epochs": self.epochs,
+            "batch_size": self.batch_size,
+            "l2": self.l2,
+            "balance_classes": self.balance_classes,
+            "seed": self.seed,
+            "weights": [weight.data for weight in self._weights],
+            "biases": [bias.data for bias in self._biases],
+            "feature_mean": self._feature_mean,
+            "feature_scale": self._feature_scale,
+        })
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MLPClassifier":
+        state = cls._validated_state(state)
+        classifier = cls(
+            hidden_sizes=tuple(int(size) for size in state.get("hidden_sizes", (32, 16))),
+            learning_rate=float(state.get("learning_rate", 0.01)),
+            epochs=int(state.get("epochs", 60)),
+            batch_size=(
+                None if state.get("batch_size") is None else int(state["batch_size"])
+            ),
+            l2=float(state.get("l2", 1e-4)),
+            balance_classes=bool(state.get("balance_classes", True)),
+            seed=int(state.get("seed", 0)),
+        )
+        classifier._weights = [
+            parameter(as_float_array(weight, "weights", cls.state_kind))
+            for weight in state_field(state, "weights", cls.state_kind)
+        ]
+        classifier._biases = [
+            parameter(as_float_array(bias, "biases", cls.state_kind))
+            for bias in state_field(state, "biases", cls.state_kind)
+        ]
+        classifier._feature_mean = as_float_array(
+            state_field(state, "feature_mean", cls.state_kind), "feature_mean", cls.state_kind
+        )
+        classifier._feature_scale = as_float_array(
+            state_field(state, "feature_scale", cls.state_kind), "feature_scale", cls.state_kind
+        )
+        classifier._fitted = bool(state.get("fitted", True))
+        return classifier

@@ -19,6 +19,7 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..serialization import state_field
 from .base import BaseClassifier
 
 
@@ -58,3 +59,25 @@ class ColumnSubsetClassifier(BaseClassifier):
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
         self._check_fitted()
         return self.base.predict_proba(self._select(features))
+
+    # ------------------------------------------------------------ persistence
+    state_kind = "column_subset"
+
+    def to_state(self) -> dict:
+        self._check_fitted()
+        return self._state_envelope({
+            "column_indices": [int(index) for index in self.column_indices],
+            "base": self.base.to_state(),
+        })
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ColumnSubsetClassifier":
+        from .base import classifier_from_state
+
+        state = cls._validated_state(state)
+        classifier = cls(
+            base=classifier_from_state(state_field(state, "base", cls.state_kind)),
+            column_indices=state_field(state, "column_indices", cls.state_kind),
+        )
+        classifier._fitted = bool(state.get("fitted", True))
+        return classifier

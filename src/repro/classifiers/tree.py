@@ -15,7 +15,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, PersistenceError
+from ..serialization import state_field
 from .base import BaseClassifier
 
 
@@ -55,6 +56,45 @@ class TreeNode:
 
     def is_leaf(self) -> bool:
         return self.feature_index is None
+
+    def to_dict(self) -> dict:
+        """Recursively serialise the subtree rooted at this node."""
+        return {
+            "feature_index": self.feature_index,
+            "threshold": self.threshold,
+            "probability": self.probability,
+            "n_samples": self.n_samples,
+            "impurity": self.impurity,
+            "depth": self.depth,
+            "path": [list(step) for step in self.path],
+            "left": self.left.to_dict() if self.left is not None else None,
+            "right": self.right.to_dict() if self.right is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, values: dict) -> "TreeNode":
+        """Rebuild a subtree written by :meth:`to_dict`."""
+        try:
+            feature_index = values["feature_index"]
+            node = cls(
+                feature_index=None if feature_index is None else int(feature_index),
+                threshold=float(values["threshold"]),
+                probability=float(values["probability"]),
+                n_samples=int(values["n_samples"]),
+                impurity=float(values["impurity"]),
+                depth=int(values["depth"]),
+                path=tuple(
+                    (int(index), float(threshold), bool(is_leq))
+                    for index, threshold, is_leq in values["path"]
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PersistenceError(f"corrupted tree node state: {exc}") from exc
+        if values.get("left") is not None:
+            node.left = cls.from_dict(values["left"])
+        if values.get("right") is not None:
+            node.right = cls.from_dict(values["right"])
+        return node
 
 
 @dataclass(frozen=True)
@@ -257,3 +297,44 @@ class DecisionTreeClassifier(BaseClassifier):
             return 1 + max(visit(node.left), visit(node.right))
 
         return visit(self.root)
+
+    # ------------------------------------------------------------ persistence
+    state_kind = "decision_tree"
+
+    def to_state(self) -> dict:
+        self._check_fitted()
+        return self._state_envelope({
+            "max_depth": self.max_depth,
+            "min_samples_leaf": self.min_samples_leaf,
+            "min_impurity_decrease": self.min_impurity_decrease,
+            "class_weight": (
+                None if self.class_weight is None
+                else {str(label): float(weight) for label, weight in self.class_weight.items()}
+            ),
+            "max_features": self.max_features,
+            "seed": self.seed,
+            "n_features": self._n_features,
+            "root": self.root.to_dict(),
+        })
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DecisionTreeClassifier":
+        state = cls._validated_state(state)
+        class_weight = state.get("class_weight")
+        classifier = cls(
+            max_depth=int(state.get("max_depth", 4)),
+            min_samples_leaf=int(state.get("min_samples_leaf", 5)),
+            min_impurity_decrease=float(state.get("min_impurity_decrease", 0.0)),
+            class_weight=(
+                None if class_weight is None
+                else {int(label): float(weight) for label, weight in class_weight.items()}
+            ),
+            max_features=(
+                None if state.get("max_features") is None else int(state["max_features"])
+            ),
+            seed=int(state.get("seed", 0)),
+        )
+        classifier._n_features = int(state.get("n_features", 0))
+        classifier.root = TreeNode.from_dict(state_field(state, "root", cls.state_kind))
+        classifier._fitted = bool(state.get("fitted", True))
+        return classifier

@@ -74,6 +74,20 @@ class Attribute:
         """Return ``True`` if this attribute holds numeric values."""
         return self.attr_type is AttributeType.NUMERIC
 
+    def to_dict(self) -> dict:
+        """JSON-safe representation used by the persistence protocol."""
+        return {"name": self.name, "type": self.attr_type.value, "separator": self.separator}
+
+    @classmethod
+    def from_dict(cls, values: Mapping[str, object]) -> "Attribute":
+        """Rebuild an attribute written by :meth:`to_dict`."""
+        try:
+            attr_type = AttributeType(values["type"])
+            return cls(name=str(values["name"]), attr_type=attr_type,
+                       separator=str(values.get("separator", ",")))
+        except (KeyError, ValueError, TypeError) as exc:
+            raise SchemaError(f"invalid serialised attribute {values!r}") from exc
+
 
 @dataclass(frozen=True)
 class Schema:
@@ -128,3 +142,15 @@ class Schema:
     def of_type(self, attr_type: AttributeType) -> tuple[Attribute, ...]:
         """Return all attributes with the given type."""
         return tuple(a for a in self.attributes if a.attr_type is attr_type)
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation used by the persistence protocol."""
+        return {"attributes": [attribute.to_dict() for attribute in self.attributes]}
+
+    @classmethod
+    def from_dict(cls, values: Mapping[str, object]) -> "Schema":
+        """Rebuild a schema written by :meth:`to_dict`."""
+        entries = values.get("attributes")
+        if not isinstance(entries, (list, tuple)):
+            raise SchemaError(f"invalid serialised schema {values!r}")
+        return cls(tuple(Attribute.from_dict(entry) for entry in entries))

@@ -29,5 +29,9 @@ class ConfigurationError(ReproError):
     """An invalid parameter value or combination of parameters was supplied."""
 
 
+class PersistenceError(ReproError):
+    """A saved model state is missing, corrupted or version-incompatible."""
+
+
 class ConvergenceWarning(UserWarning):
     """An iterative procedure stopped before reaching its convergence target."""

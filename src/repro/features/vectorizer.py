@@ -23,7 +23,8 @@ import numpy as np
 from ..data.records import RecordPair, Table
 from ..data.schema import AttributeType, Schema
 from ..data.workload import Workload
-from ..exceptions import NotFittedError
+from ..exceptions import NotFittedError, PersistenceError
+from ..serialization import component_state, require_state, state_field
 from ..text.tokenize import idf_weights
 from .metric_registry import MetricSpec, metrics_for_schema
 
@@ -108,3 +109,46 @@ class PairVectorizer:
             return self.feature_names.index(name)
         except ValueError as exc:
             raise KeyError(f"unknown metric {name!r}") from exc
+
+    # ------------------------------------------------------------ persistence
+    STATE_KIND = "pair_vectorizer"
+    STATE_VERSION = 1
+
+    def to_state(self) -> dict:
+        """Export the fitted vectoriser as a JSON-safe state dict.
+
+        Metric functions are not serialised; they are rebuilt from the schema
+        through :func:`~repro.features.metric_registry.metrics_for_schema` and
+        matched by qualified name, so only registry metrics round-trip.
+        """
+        return component_state(self.STATE_KIND, self.STATE_VERSION, {
+            "schema": self.schema.to_dict(),
+            "metric_names": self.feature_names,
+            "idf_by_attribute": self._idf_by_attribute,
+        })
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PairVectorizer":
+        """Rebuild a vectoriser written by :meth:`to_state`."""
+        state = require_state(state, cls.STATE_KIND, cls.STATE_VERSION)
+        schema = Schema.from_dict(state_field(state, "schema", cls.STATE_KIND))
+        metric_names = state_field(state, "metric_names", cls.STATE_KIND)
+        available = {spec.name: spec for spec in metrics_for_schema(schema)}
+        metrics = []
+        for name in metric_names:
+            spec = available.get(name)
+            if spec is None:
+                raise PersistenceError(
+                    f"saved vectoriser references metric {name!r}, which the metric "
+                    f"registry does not define for this schema (custom metrics cannot "
+                    f"be persisted)"
+                )
+            metrics.append(spec)
+        vectorizer = cls(schema, metrics=metrics)
+        idf_tables = state_field(state, "idf_by_attribute", cls.STATE_KIND)
+        if idf_tables is not None:
+            vectorizer._idf_by_attribute = {
+                str(attribute): {str(token): float(weight) for token, weight in table.items()}
+                for attribute, table in idf_tables.items()
+            }
+        return vectorizer

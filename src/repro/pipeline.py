@@ -23,11 +23,11 @@ LearnRiskPipeline(...)
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
-from .classifiers.base import BaseClassifier
+from .classifiers.base import BaseClassifier, classifier_from_state
 from .data.records import RecordPair
 from .data.workload import Workload
 from .evaluation.experiment import default_classifier_factory
@@ -38,6 +38,12 @@ from .risk.feature_generation import GeneratedRiskFeatures, RiskFeatureGenerator
 from .risk.model import FeatureExplanation, LearnRiskModel
 from .risk.onesided_tree import OneSidedTreeConfig
 from .risk.training import TrainingConfig
+from .serialization import (
+    component_state,
+    dataclass_from_dict,
+    require_state,
+    state_field,
+)
 
 
 @dataclass
@@ -121,8 +127,18 @@ class LearnRiskPipeline:
         self._fitted = True
         return self
 
+    @property
+    def is_fitted(self) -> bool:
+        """``True`` once :meth:`fit` has completed (or a fitted state was loaded)."""
+        return self._fitted
+
+    @property
+    def ready(self) -> bool:
+        """Alias of :attr:`is_fitted`, the vocabulary used by the serving layer."""
+        return self.is_fitted
+
     def _check_fitted(self) -> None:
-        if not self._fitted:
+        if not self.is_fitted:
             raise NotFittedError("LearnRiskPipeline is not fitted yet")
 
     # ----------------------------------------------------------------- label
@@ -150,14 +166,15 @@ class LearnRiskPipeline:
         risk_scores = self.risk_model.score(features, probabilities, machine_labels)
         ranking = np.argsort(-risk_scores, kind="stable")
 
+        # AUROC is only defined for labeled workloads on which the classifier
+        # made some (but not only) mistakes; check explicitly instead of
+        # swallowing exceptions, so genuine scoring bugs surface.
         auroc = None
-        try:
+        if workload.is_labeled and len(workload) > 0:
             ground_truth = workload.labels()
             risk_labels = mislabel_indicator(machine_labels, ground_truth)
             if 0 < risk_labels.sum() < len(risk_labels):
                 auroc = auroc_score(risk_labels, risk_scores)
-        except Exception:
-            auroc = None
 
         explanations: dict[int, list[FeatureExplanation]] = {}
         for index in ranking[:explain_top]:
@@ -180,3 +197,59 @@ class LearnRiskPipeline:
         features = self.vectorizer.transform([pair])
         probability = float(self.classifier.predict_proba(features)[0])
         return self.risk_model.explain(features[0], probability, top_k=top_k)
+
+    # ------------------------------------------------------------ persistence
+    STATE_KIND = "learn_risk_pipeline"
+    STATE_VERSION = 1
+
+    def to_state(self) -> dict:
+        """Export the full pipeline (classifier, vectoriser, risk model) as a state dict.
+
+        Use :func:`repro.serve.persistence.save_pipeline` to write the state to
+        disk as JSON + npz; this method only builds the in-memory structure.
+        """
+        self._check_fitted()
+        return component_state(self.STATE_KIND, self.STATE_VERSION, {
+            "classifier": self.classifier.to_state(),
+            "tree_config": None if self.tree_config is None else asdict(self.tree_config),
+            "training_config": asdict(self.training_config),
+            "risk_metric": self.risk_metric,
+            "seed": self.seed,
+            "vectorizer": self.vectorizer.to_state(),
+            # The vectoriser is shared with the risk features; store it once
+            # at the pipeline level and re-wire the sharing on load.
+            "risk_model": self.risk_model.to_state(include_vectorizer=False),
+        })
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LearnRiskPipeline":
+        """Rebuild a fitted pipeline written by :meth:`to_state`."""
+        state = require_state(state, cls.STATE_KIND, cls.STATE_VERSION)
+        tree_config = state.get("tree_config")
+        pipeline = cls(
+            classifier=classifier_from_state(state_field(state, "classifier", cls.STATE_KIND)),
+            tree_config=(
+                None if tree_config is None
+                else dataclass_from_dict(OneSidedTreeConfig, tree_config)
+            ),
+            training_config=dataclass_from_dict(
+                TrainingConfig, state_field(state, "training_config", cls.STATE_KIND)
+            ),
+            risk_metric=str(state.get("risk_metric", "var")),
+            seed=int(state.get("seed", 0)),
+        )
+        pipeline.vectorizer = PairVectorizer.from_state(
+            state_field(state, "vectorizer", cls.STATE_KIND)
+        )
+        # Share the single loaded vectoriser with the risk features, mirroring
+        # the object graph fit() builds.
+        pipeline.risk_model = LearnRiskModel.from_state(
+            state_field(state, "risk_model", cls.STATE_KIND), vectorizer=pipeline.vectorizer
+        )
+        pipeline.risk_features = pipeline.risk_model.features
+        if pipeline.risk_model.config == pipeline.training_config:
+            # fit() shares one TrainingConfig between pipeline and risk model;
+            # restore that sharing instead of keeping two equal copies.
+            pipeline.risk_model.config = pipeline.training_config
+        pipeline._fitted = True
+        return pipeline

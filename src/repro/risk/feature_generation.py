@@ -25,8 +25,9 @@ import numpy as np
 
 from ..data.records import MATCH
 from ..data.workload import Workload
-from ..exceptions import DataError
+from ..exceptions import DataError, PersistenceError
 from ..features.vectorizer import PairVectorizer
+from ..serialization import component_state, require_state, state_field
 from .onesided_tree import OneSidedTreeBuilder, OneSidedTreeConfig
 from .rules import RiskRule, deduplicate_rules, estimate_expectations, remove_redundant_rules
 
@@ -73,6 +74,55 @@ class GeneratedRiskFeatures:
         if matrix.shape[1] == 0:
             return 0.0
         return float(np.mean(matrix.sum(axis=1) > 0))
+
+    # ------------------------------------------------------------ persistence
+    STATE_KIND = "risk_features"
+    STATE_VERSION = 1
+
+    def to_state(self, include_vectorizer: bool = True) -> dict:
+        """Export the rules and the fitted vectoriser as a JSON-safe state dict.
+
+        ``include_vectorizer=False`` omits the embedded vectoriser state (which
+        contains the full per-attribute IDF tables); the caller must then
+        supply a vectoriser to :meth:`from_state`.  The pipeline uses this to
+        avoid storing the shared vectoriser twice.
+        """
+        return component_state(self.STATE_KIND, self.STATE_VERSION, {
+            "rules": [rule.to_dict() for rule in self.rules],
+            "vectorizer": self.vectorizer.to_state() if include_vectorizer else None,
+            "generation_seconds": self.generation_seconds,
+            "statistics": {str(key): float(value) for key, value in self.statistics.items()},
+        })
+
+    @classmethod
+    def from_state(
+        cls, state: dict, vectorizer: PairVectorizer | None = None
+    ) -> "GeneratedRiskFeatures":
+        """Rebuild features written by :meth:`to_state`.
+
+        ``vectorizer`` lets a caller share one already-loaded vectoriser
+        instead of inflating the embedded copy (the pipeline does this so its
+        vectoriser and its features' vectoriser stay the same object).
+        """
+        state = require_state(state, cls.STATE_KIND, cls.STATE_VERSION)
+        if vectorizer is None:
+            vectorizer_state = state_field(state, "vectorizer", cls.STATE_KIND)
+            if vectorizer_state is None:
+                raise PersistenceError(
+                    "risk-features state was saved without an embedded vectoriser; "
+                    "pass the shared vectoriser to from_state"
+                )
+            vectorizer = PairVectorizer.from_state(vectorizer_state)
+        rules = [
+            RiskRule.from_dict(rule_state)
+            for rule_state in state_field(state, "rules", cls.STATE_KIND)
+        ]
+        return cls(
+            rules=rules,
+            vectorizer=vectorizer,
+            generation_seconds=float(state.get("generation_seconds", 0.0)),
+            statistics={str(k): float(v) for k, v in state.get("statistics", {}).items()},
+        )
 
 
 class RiskFeatureGenerator:

@@ -22,12 +22,19 @@ Typical usage (array level; see :mod:`repro.pipeline` for the workload level)::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
 from ..data.records import MATCH
-from ..exceptions import ConfigurationError, NotFittedError
+from ..exceptions import ConfigurationError, NotFittedError, PersistenceError
+from ..features.vectorizer import PairVectorizer
+from ..serialization import (
+    component_state,
+    dataclass_from_dict,
+    require_state,
+    state_field,
+)
 from .feature_generation import GeneratedRiskFeatures
 from .metrics import conditional_value_at_risk, expectation_risk, value_at_risk
 from .portfolio import PortfolioDistribution, aggregate_portfolio, feature_contributions
@@ -275,6 +282,64 @@ class LearnRiskModel:
         if top_k is not None:
             explanations = explanations[:top_k]
         return explanations
+
+    # ------------------------------------------------------------ persistence
+    STATE_KIND = "learn_risk_model"
+    STATE_VERSION = 1
+
+    def to_state(self, include_vectorizer: bool = True) -> dict:
+        """Export the risk model (features, config and learned parameters).
+
+        ``include_vectorizer`` is forwarded to
+        :meth:`GeneratedRiskFeatures.to_state`; pass ``False`` when the
+        enclosing state already stores the shared vectoriser.
+        """
+        return component_state(self.STATE_KIND, self.STATE_VERSION, {
+            "features": self.features.to_state(include_vectorizer=include_vectorizer),
+            "config": asdict(self.config),
+            "n_output_bins": self.n_output_bins,
+            "risk_metric": self.risk_metric,
+            "parameters": self.parameters.to_state(),
+            "fitted": self._fitted,
+            "training_result": (
+                None if self.training_result is None else self.training_result.to_dict()
+            ),
+        })
+
+    @classmethod
+    def from_state(
+        cls, state: dict, vectorizer: PairVectorizer | None = None
+    ) -> "LearnRiskModel":
+        """Rebuild a model written by :meth:`to_state`.
+
+        ``vectorizer`` is forwarded to
+        :meth:`GeneratedRiskFeatures.from_state` so a caller can share one
+        loaded vectoriser across components.
+        """
+        state = require_state(state, cls.STATE_KIND, cls.STATE_VERSION)
+        features = GeneratedRiskFeatures.from_state(
+            state_field(state, "features", cls.STATE_KIND), vectorizer=vectorizer
+        )
+        config = dataclass_from_dict(TrainingConfig, state_field(state, "config", cls.STATE_KIND))
+        model = cls(
+            features,
+            config=config,
+            n_output_bins=int(state.get("n_output_bins", 10)),
+            risk_metric=str(state.get("risk_metric", "var")),
+        )
+        model.parameters = RiskParameters.from_state(
+            state_field(state, "parameters", cls.STATE_KIND)
+        )
+        if model.parameters.rule_weight_raw.size != len(features.rules):
+            raise PersistenceError(
+                f"saved risk parameters cover {model.parameters.rule_weight_raw.size} rules "
+                f"but the saved features define {len(features.rules)}"
+            )
+        training_result = state.get("training_result")
+        if training_result is not None:
+            model.training_result = TrainingResult.from_dict(training_result)
+        model._fitted = bool(state.get("fitted", False))
+        return model
 
     # -------------------------------------------------------------- summary
     def summary(self) -> dict[str, float]:

@@ -19,6 +19,7 @@ from typing import Sequence
 import numpy as np
 
 from ..data.records import MATCH, UNMATCH
+from ..exceptions import PersistenceError
 
 
 @dataclass(frozen=True)
@@ -51,6 +52,28 @@ class Condition:
         """Human-readable text, e.g. ``"year.numeric_inequality > 0.500"``."""
         operator = "<=" if self.is_leq else ">"
         return f"{self.metric_name} {operator} {self.threshold:.3f}"
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation used by the persistence protocol."""
+        return {
+            "metric_index": self.metric_index,
+            "metric_name": self.metric_name,
+            "threshold": self.threshold,
+            "is_leq": self.is_leq,
+        }
+
+    @classmethod
+    def from_dict(cls, values: dict) -> "Condition":
+        """Rebuild a condition written by :meth:`to_dict`."""
+        try:
+            return cls(
+                metric_index=int(values["metric_index"]),
+                metric_name=str(values["metric_name"]),
+                threshold=float(values["threshold"]),
+                is_leq=bool(values["is_leq"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PersistenceError(f"corrupted rule condition {values!r}") from exc
 
 
 @dataclass(frozen=True)
@@ -121,6 +144,34 @@ class RiskRule:
             expectation=float(expectation),
             name=self.name,
         )
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation used by the persistence protocol."""
+        return {
+            "conditions": [condition.to_dict() for condition in self.conditions],
+            "label": self.label,
+            "support": self.support,
+            "purity": self.purity,
+            "expectation": self.expectation,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, values: dict) -> "RiskRule":
+        """Rebuild a rule written by :meth:`to_dict`."""
+        try:
+            return cls(
+                conditions=tuple(
+                    Condition.from_dict(condition) for condition in values["conditions"]
+                ),
+                label=int(values["label"]),
+                support=int(values.get("support", 0)),
+                purity=float(values.get("purity", 1.0)),
+                expectation=float(values.get("expectation", 0.5)),
+                name=str(values.get("name", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PersistenceError(f"corrupted risk rule state: {exc}") from exc
 
 
 def estimate_expectations(

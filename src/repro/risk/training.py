@@ -20,6 +20,7 @@ from scipy import stats
 
 from ..autodiff import SGD, Adam, Tensor
 from ..exceptions import ConfigurationError
+from ..serialization import as_float_array, component_state, require_state, state_field
 
 _SOFTPLUS_EPS = 1e-6
 
@@ -88,6 +89,39 @@ class RiskParameters:
             output_rsd_raw=Tensor(np.full(n_output_bins, rsd_init), requires_grad=True),
         )
 
+    # ------------------------------------------------------------ persistence
+    STATE_KIND = "risk_parameters"
+    STATE_VERSION = 1
+
+    def to_state(self) -> dict:
+        """Export the raw parameter arrays as a state dict."""
+        return component_state(self.STATE_KIND, self.STATE_VERSION, {
+            "rule_weight_raw": self.rule_weight_raw.data.copy(),
+            "rule_rsd_raw": self.rule_rsd_raw.data.copy(),
+            "alpha_raw": self.alpha_raw.data.copy(),
+            "beta_raw": self.beta_raw.data.copy(),
+            "output_rsd_raw": self.output_rsd_raw.data.copy(),
+        })
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RiskParameters":
+        """Rebuild parameters written by :meth:`to_state`."""
+        state = require_state(state, cls.STATE_KIND, cls.STATE_VERSION)
+
+        def tensor(field: str) -> Tensor:
+            values = as_float_array(
+                state_field(state, field, cls.STATE_KIND), field, cls.STATE_KIND
+            )
+            return Tensor(values.copy(), requires_grad=True)
+
+        return cls(
+            rule_weight_raw=tensor("rule_weight_raw"),
+            rule_rsd_raw=tensor("rule_rsd_raw"),
+            alpha_raw=tensor("alpha_raw"),
+            beta_raw=tensor("beta_raw"),
+            output_rsd_raw=tensor("output_rsd_raw"),
+        )
+
 
 @dataclass
 class TrainingConfig:
@@ -130,6 +164,27 @@ class TrainingResult:
     trained: bool = False
     best_epoch: int = 0
     best_holdout_auroc: float = float("nan")
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation used by the persistence protocol."""
+        return {
+            "losses": [float(loss) for loss in self.losses],
+            "n_rank_pairs": self.n_rank_pairs,
+            "trained": self.trained,
+            "best_epoch": self.best_epoch,
+            "best_holdout_auroc": self.best_holdout_auroc,
+        }
+
+    @classmethod
+    def from_dict(cls, values: dict) -> "TrainingResult":
+        """Rebuild a result written by :meth:`to_dict`."""
+        return cls(
+            losses=[float(loss) for loss in values.get("losses", [])],
+            n_rank_pairs=int(values.get("n_rank_pairs", 0)),
+            trained=bool(values.get("trained", False)),
+            best_epoch=int(values.get("best_epoch", 0)),
+            best_holdout_auroc=float(values.get("best_holdout_auroc", float("nan"))),
+        )
 
 
 def _rank_auroc(labels: np.ndarray, scores: np.ndarray) -> float:

@@ -1,0 +1,169 @@
+"""Low-level helpers of the ``to_state`` / ``from_state`` persistence protocol.
+
+Every fitted component of the library (vectoriser, classifiers, risk rules,
+risk model, pipeline) can export its state as a *state dict*: a nested
+structure of JSON-safe values (``dict`` / ``list`` / ``str`` / ``int`` /
+``float`` / ``bool`` / ``None``) in which numpy arrays may appear as leaves.
+Each state dict carries a ``kind`` tag identifying the component class and a
+``version`` integer identifying the layout, so that loading can fail loudly on
+corrupted or incompatible states instead of silently misbehaving.
+
+This module provides the shared plumbing:
+
+* :func:`component_state` / :func:`require_state` — stamp and validate the
+  ``kind`` / ``version`` envelope;
+* :func:`pack_arrays` / :func:`unpack_arrays` — split a state dict into a pure
+  JSON document plus a ``{key: ndarray}`` mapping (and back), which is how
+  :mod:`repro.serve.persistence` stores states as ``state.json`` + an ``.npz``
+  archive without ever touching pickle;
+* :func:`dataclass_from_dict` — tolerant dataclass reconstruction that ignores
+  unknown keys, so old states keep loading after a config grows a field.
+
+Python's ``json`` round-trips ``float`` values through their shortest ``repr``,
+which is exact for IEEE-754 doubles; together with the lossless ``.npz`` array
+storage this makes a saved model reproduce its in-process scores bit for bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping
+
+import numpy as np
+
+from .exceptions import PersistenceError
+
+#: Placeholder key marking an extracted numpy array inside a packed state.
+ARRAY_TOKEN = "__ndarray__"
+#: Escape key wrapping user mappings that would be mistaken for a placeholder.
+ESCAPE_TOKEN = "__ndarray_escape__"
+_RESERVED_KEYS = frozenset({ARRAY_TOKEN, ESCAPE_TOKEN})
+
+
+def component_state(kind: str, version: int, payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Wrap ``payload`` in the standard ``kind`` / ``version`` envelope."""
+    state: dict[str, Any] = {"kind": kind, "version": version}
+    state.update(payload)
+    return state
+
+
+def require_state(state: Any, kind: str, version: int) -> dict[str, Any]:
+    """Validate a state dict's envelope and return it.
+
+    Raises
+    ------
+    PersistenceError
+        If ``state`` is not a mapping, its ``kind`` does not match, or its
+        ``version`` is newer than what this library understands.
+    """
+    if not isinstance(state, Mapping):
+        raise PersistenceError(
+            f"expected a state mapping for kind {kind!r}, got {type(state).__name__}"
+        )
+    found_kind = state.get("kind")
+    if found_kind != kind:
+        raise PersistenceError(f"state kind mismatch: expected {kind!r}, found {found_kind!r}")
+    found_version = state.get("version")
+    if not isinstance(found_version, int) or found_version < 1:
+        raise PersistenceError(f"state for {kind!r} has invalid version {found_version!r}")
+    if found_version > version:
+        raise PersistenceError(
+            f"state for {kind!r} has version {found_version}, but this library "
+            f"only understands versions <= {version}; upgrade the library to load it"
+        )
+    return dict(state)
+
+
+def state_field(state: Mapping[str, Any], key: str, kind: str) -> Any:
+    """Return ``state[key]`` or raise a clear :class:`PersistenceError`."""
+    try:
+        return state[key]
+    except KeyError as exc:
+        raise PersistenceError(f"state for {kind!r} is missing required field {key!r}") from exc
+
+
+# ----------------------------------------------------------------- array packing
+def pack_arrays(state: Any, prefix: str = "a") -> tuple[Any, dict[str, np.ndarray]]:
+    """Replace every ndarray leaf of ``state`` with a placeholder.
+
+    Returns the JSON-safe structure and the ``{key: array}`` mapping the
+    placeholders refer to.  Tuples are converted to lists (as JSON would).
+    """
+    arrays: dict[str, np.ndarray] = {}
+    counter = [0]
+
+    def walk(value: Any) -> Any:
+        if isinstance(value, np.ndarray):
+            key = f"{prefix}{counter[0]}"
+            counter[0] += 1
+            arrays[key] = value
+            return {ARRAY_TOKEN: key}
+        if isinstance(value, np.generic):
+            return value.item()
+        if isinstance(value, Mapping):
+            packed = {str(k): walk(v) for k, v in value.items()}
+            # A user mapping whose single key is a reserved token (e.g. an
+            # IDF table containing the literal token "__ndarray__") would be
+            # indistinguishable from a placeholder; wrap it so unpacking can
+            # tell them apart.
+            if len(packed) == 1 and next(iter(packed)) in _RESERVED_KEYS:
+                return {ESCAPE_TOKEN: packed}
+            return packed
+        if isinstance(value, (list, tuple)):
+            return [walk(item) for item in value]
+        if value is None or isinstance(value, (str, int, float, bool)):
+            return value
+        raise PersistenceError(
+            f"state contains a non-serialisable value of type {type(value).__name__}"
+        )
+
+    return walk(state), arrays
+
+
+def unpack_arrays(state: Any, arrays: Mapping[str, np.ndarray]) -> Any:
+    """Inverse of :func:`pack_arrays`: re-inflate array placeholders."""
+
+    def walk(value: Any) -> Any:
+        if isinstance(value, Mapping):
+            if set(value.keys()) == {ARRAY_TOKEN}:
+                key = value[ARRAY_TOKEN]
+                try:
+                    return np.asarray(arrays[key])
+                except (KeyError, TypeError) as exc:
+                    raise PersistenceError(
+                        f"state references missing array {key!r}; the archive is corrupted"
+                    ) from exc
+            if set(value.keys()) == {ESCAPE_TOKEN}:
+                inner = value[ESCAPE_TOKEN]
+                if not isinstance(inner, Mapping):
+                    raise PersistenceError("corrupted escape wrapper in state")
+                return {k: walk(v) for k, v in inner.items()}
+            return {k: walk(v) for k, v in value.items()}
+        if isinstance(value, list):
+            return [walk(item) for item in value]
+        return value
+
+    return walk(state)
+
+
+def as_float_array(value: Any, field: str, kind: str) -> np.ndarray:
+    """Coerce a state leaf to a float ndarray with a clear error on failure."""
+    if not isinstance(value, np.ndarray):
+        raise PersistenceError(f"state for {kind!r} field {field!r} is not an array")
+    return np.asarray(value, dtype=float)
+
+
+def dataclass_from_dict(cls: type, values: Mapping[str, Any]) -> Any:
+    """Instantiate a dataclass from a mapping, ignoring unknown keys.
+
+    Unknown keys are tolerated so that states written by a newer library (with
+    extra config fields) still load; missing keys fall back to the dataclass
+    defaults.
+    """
+    if not isinstance(values, Mapping):
+        raise PersistenceError(
+            f"expected a mapping to build {cls.__name__}, got {type(values).__name__}"
+        )
+    known = {field.name for field in dataclasses.fields(cls)}
+    kwargs = {key: value for key, value in values.items() if key in known}
+    return cls(**kwargs)

@@ -1,0 +1,253 @@
+"""Command-line operations surface: ``python -m repro.serve``.
+
+Three subcommands cover the model lifecycle:
+
+``fit``
+    Fit a :class:`~repro.pipeline.LearnRiskPipeline` on a built-in workload
+    (``--dataset``) or on CSV files (``--data-dir`` + ``--name`` +
+    ``--schema``), then save it with
+    :func:`~repro.serve.persistence.save_pipeline`.
+``score``
+    Load a saved pipeline, score a workload through :class:`RiskService`
+    (micro-batched, cached) and print serving statistics; ``--output`` writes
+    one CSV row per pair with probability, machine label and risk score.
+``inspect``
+    Print a saved model's manifest and risk-model summary without scoring.
+
+The CSV layout is the one of :mod:`repro.data.io` (``<name>_left.csv``,
+``<name>_right.csv``, ``<name>_matches.csv``, optional ``<name>_pairs.csv``);
+``--schema`` points at a JSON file in :meth:`repro.data.schema.Schema.to_dict`
+format, e.g.::
+
+    {"attributes": [{"name": "title", "type": "text"},
+                    {"name": "year", "type": "numeric"}]}
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..classifiers import (
+    BootstrapEnsemble,
+    DecisionTreeClassifier,
+    LogisticRegressionClassifier,
+    MLPClassifier,
+    RandomForestClassifier,
+)
+from ..classifiers.base import BaseClassifier
+from ..data import load_dataset, split_workload
+from ..data.io import import_workload
+from ..data.schema import Schema
+from ..data.workload import Workload
+from ..evaluation.roc import auroc_score, mislabel_indicator
+from ..exceptions import ReproError
+from ..pipeline import LearnRiskPipeline
+from ..risk.onesided_tree import OneSidedTreeConfig
+from ..risk.training import TrainingConfig
+from .persistence import load_pipeline, load_state, save_pipeline
+from .service import RiskService
+
+CLASSIFIER_CHOICES = ("mlp", "logistic", "tree", "forest", "ensemble")
+
+
+def _build_classifier(kind: str, seed: int, epochs: int | None) -> BaseClassifier:
+    if kind == "mlp":
+        return MLPClassifier(seed=seed, epochs=epochs or 60)
+    if kind == "logistic":
+        return LogisticRegressionClassifier(seed=seed, epochs=epochs or 300)
+    if kind == "tree":
+        return DecisionTreeClassifier(seed=seed)
+    if kind == "forest":
+        return RandomForestClassifier(seed=seed)
+    if kind == "ensemble":
+        return BootstrapEnsemble(seed=seed)
+    raise argparse.ArgumentTypeError(f"unknown classifier {kind!r}")
+
+
+def _load_schema(path: str) -> Schema:
+    return Schema.from_dict(json.loads(Path(path).read_text()))
+
+
+def _load_workload(args: argparse.Namespace, schema: Schema | None = None) -> Workload:
+    if args.dataset:
+        return load_dataset(args.dataset, scale=args.scale)
+    if args.data_dir:
+        if schema is None:
+            if not getattr(args, "schema", None):
+                raise SystemExit("--schema is required when fitting from --data-dir")
+            schema = _load_schema(args.schema)
+        return import_workload(args.data_dir, args.name, schema)
+    raise SystemExit("provide either --dataset or --data-dir")
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _parse_ratio(text: str) -> tuple[float, float, float]:
+    parts = [float(part) for part in text.split(",")]
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError("ratio must have three comma-separated parts")
+    return (parts[0], parts[1], parts[2])
+
+
+# --------------------------------------------------------------------- commands
+def _cmd_fit(args: argparse.Namespace) -> int:
+    workload = _load_workload(args)
+    split = split_workload(workload, ratio=args.ratio, seed=args.seed)
+    pipeline = LearnRiskPipeline(
+        classifier=_build_classifier(args.classifier, args.seed, args.epochs),
+        tree_config=OneSidedTreeConfig(max_depth=args.rule_depth),
+        training_config=TrainingConfig(epochs=args.risk_epochs, seed=args.seed),
+        risk_metric=args.risk_metric,
+        seed=args.seed,
+    )
+    print(
+        f"fitting on {len(split.train)} training / {len(split.validation)} validation pairs "
+        f"({workload.name})..."
+    )
+    pipeline.fit(split.train, split.validation)
+    directory = save_pipeline(pipeline, args.output)
+    summary = pipeline.risk_model.summary()
+    print(f"saved fitted pipeline to {directory}")
+    print(
+        f"  rules: {int(summary['n_rules'])} "
+        f"({int(summary['n_matching_rules'])} matching), "
+        f"final ranking loss: {summary['final_loss']:.4f}"
+    )
+    return 0
+
+
+def _cmd_score(args: argparse.Namespace) -> int:
+    pipeline = load_pipeline(args.model)
+    workload = _load_workload(args, schema=pipeline.vectorizer.schema)
+    service = RiskService(
+        pipeline, max_batch_size=args.batch_size, cache_size=args.cache_size
+    )
+    results = []
+    for _ in range(args.repeat):
+        results = service.score_workload(workload)
+
+    if args.output:
+        output = Path(args.output)
+        output.parent.mkdir(parents=True, exist_ok=True)
+        with output.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["left_id", "right_id", "probability", "machine_label", "risk_score"])
+            for scored in results:
+                left_id, right_id = scored.pair.pair_id
+                writer.writerow([
+                    left_id, right_id, repr(scored.probability),
+                    scored.machine_label, repr(scored.risk_score),
+                ])
+        print(f"wrote {len(results)} scored pairs to {output}")
+
+    stats = service.stats.snapshot()
+    print(f"scored {len(results)} pairs from {workload.name} (x{args.repeat} passes)")
+    print(
+        f"  throughput: {stats['pairs_per_second']:.1f} pairs/s over "
+        f"{int(stats['batches'])} batches (mean batch {stats['mean_batch_size']:.1f})"
+    )
+    print(
+        f"  vectorisation cache: {stats['cache_hit_rate']:.1%} hit rate "
+        f"({int(stats['cache_hits'])} hits / {int(stats['cache_misses'])} misses)"
+    )
+    if workload.is_labeled and len(workload) > 0:
+        machine_labels = np.array([scored.machine_label for scored in results], dtype=int)
+        risk_scores = np.array([scored.risk_score for scored in results], dtype=float)
+        risk_labels = mislabel_indicator(machine_labels, workload.labels())
+        if 0 < risk_labels.sum() < len(risk_labels):
+            print(f"  risk ranking AUROC: {auroc_score(risk_labels, risk_scores):.4f}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    state = load_state(args.model)
+    manifest = json.loads((Path(args.model) / "manifest.json").read_text())
+    print(f"model directory: {args.model}")
+    print(f"  kind: {manifest.get('kind')}  format: v{manifest.get('format_version')}  "
+          f"written by repro {manifest.get('library_version')}")
+    pipeline = LearnRiskPipeline.from_state(state)
+    schema = pipeline.vectorizer.schema
+    print(f"  schema: {', '.join(f'{a.name}:{a.attr_type.value}' for a in schema)}")
+    print(f"  metrics: {pipeline.vectorizer.n_features}")
+    print(f"  classifier: {type(pipeline.classifier).__name__}")
+    print(f"  risk rules: {len(pipeline.risk_features.rules)}  "
+          f"risk metric: {pipeline.risk_metric}")
+    for description in pipeline.risk_features.describe(limit=args.rules):
+        print(f"    {description}")
+    return 0
+
+
+# ----------------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Fit, save, load and serve LearnRisk pipelines.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload_arguments(sub: argparse.ArgumentParser, with_schema: bool) -> None:
+        sub.add_argument("--dataset", help="built-in workload name (DS, DA, AB, AG, SG)")
+        sub.add_argument("--scale", type=float, default=0.3,
+                         help="built-in workload scale (default 0.3)")
+        sub.add_argument("--data-dir", help="directory of CSV files (repro.data.io layout)")
+        sub.add_argument("--name", default="workload",
+                         help="CSV workload name prefix (default 'workload')")
+        if with_schema:
+            sub.add_argument("--schema",
+                             help="JSON schema file (Schema.to_dict format) for --data-dir")
+
+    fit = subparsers.add_parser("fit", help="fit a pipeline and save it")
+    add_workload_arguments(fit, with_schema=True)
+    fit.add_argument("--output", required=True, help="model directory to write")
+    fit.add_argument("--classifier", choices=CLASSIFIER_CHOICES, default="mlp")
+    fit.add_argument("--epochs", type=int, default=None,
+                     help="classifier training epochs (classifier-specific default)")
+    fit.add_argument("--risk-epochs", type=int, default=200,
+                     help="risk-model training epochs (default 200)")
+    fit.add_argument("--rule-depth", type=int, default=3,
+                     help="max conditions per generated rule (default 3)")
+    fit.add_argument("--risk-metric", choices=("var", "cvar", "expectation"), default="var")
+    fit.add_argument("--ratio", type=_parse_ratio, default=(3.0, 2.0, 5.0),
+                     help="train,validation,test split ratio (default 3,2,5)")
+    fit.add_argument("--seed", type=int, default=0)
+    fit.set_defaults(handler=_cmd_fit)
+
+    score = subparsers.add_parser("score", help="score a workload with a saved pipeline")
+    add_workload_arguments(score, with_schema=False)
+    score.add_argument("--model", required=True, help="saved model directory")
+    score.add_argument("--output", help="CSV file for the per-pair scores")
+    score.add_argument("--batch-size", type=_positive_int, default=256)
+    score.add_argument("--cache-size", type=int, default=4096)
+    score.add_argument("--repeat", type=_positive_int, default=1,
+                       help="score the workload this many times (cache warm-up)")
+    score.set_defaults(handler=_cmd_score)
+
+    inspect = subparsers.add_parser("inspect", help="describe a saved model")
+    inspect.add_argument("--model", required=True, help="saved model directory")
+    inspect.add_argument("--rules", type=int, default=5,
+                         help="number of rules to print (default 5)")
+    inspect.set_defaults(handler=_cmd_inspect)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

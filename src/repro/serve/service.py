@@ -1,0 +1,303 @@
+"""Batched risk scoring around a fitted pipeline.
+
+:class:`RiskService` is the online counterpart of
+:class:`~repro.pipeline.LearnRiskPipeline.analyse`: it wraps a fitted pipeline
+and scores record pairs as they arrive, the way a risk model sits in front of
+a live ER classifier to triage its output for human review.
+
+Three serving concerns are handled here:
+
+* **Micro-batching** — :meth:`RiskService.submit` buffers pairs and scores
+  them as one batch when the buffer reaches ``max_batch_size`` (or on
+  :meth:`RiskService.flush`).  Batch scoring amortises the classifier forward
+  pass and the portfolio aggregation over many pairs.
+* **Vectorisation caching** — turning a record pair into its metric vector
+  (string similarities, TF-IDF cosine, ...) dominates scoring cost and depends
+  only on the pair's records, so vectors are memoised in an LRU cache keyed by
+  record-pair identity.  Re-scoring a pair after a model hot-swap hits the
+  cache even though the risk scores change.
+* **Statistics** — the service counts pairs, batches, cache hits and scoring
+  time so operators (and ``benchmarks/bench_serving_throughput.py``) can watch
+  throughput and cache effectiveness.
+
+All public methods are thread-safe; a single lock serialises scoring, which
+keeps the numpy pipeline components (which are not re-entrant during a forward
+pass) safe under concurrent callers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..data.records import RecordPair
+from ..data.workload import Workload
+from ..exceptions import ConfigurationError, NotFittedError
+from ..pipeline import LearnRiskPipeline
+
+#: Identity of a record pair: source + id of both sides.
+PairKey = tuple[str, str, str, str]
+
+
+def pair_key(pair: RecordPair) -> PairKey:
+    """The cache identity of a record pair."""
+    return (pair.left.source, pair.left.record_id, pair.right.source, pair.right.record_id)
+
+
+@dataclass(frozen=True)
+class ScoredPair:
+    """One pair's serving result: classifier output plus mislabeling risk."""
+
+    pair: RecordPair
+    probability: float
+    machine_label: int
+    risk_score: float
+
+
+class PendingScore:
+    """Handle returned by :meth:`RiskService.submit` for a not-yet-scored pair.
+
+    Calling :meth:`result` forces a flush of the service's buffer if the pair
+    has not been scored yet.
+    """
+
+    def __init__(self, service: "RiskService", pair: RecordPair) -> None:
+        self._service = service
+        self.pair = pair
+        self._result: ScoredPair | None = None
+
+    @property
+    def done(self) -> bool:
+        """``True`` once the pair has been scored."""
+        return self._result is not None
+
+    def result(self) -> ScoredPair:
+        """Return the scored result, flushing the service's buffer if needed."""
+        if self._result is None:
+            self._service.flush()
+        assert self._result is not None, "flush() must resolve every buffered score"
+        return self._result
+
+    def _resolve(self, result: ScoredPair) -> None:
+        self._result = result
+
+
+class ServiceStats:
+    """Mutable serving counters with a JSON-safe :meth:`snapshot`."""
+
+    def __init__(self) -> None:
+        self.pairs_scored = 0
+        self.batches = 0
+        self.largest_batch = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.scoring_seconds = 0.0
+
+    def record_batch(self, batch_size: int, seconds: float) -> None:
+        self.pairs_scored += batch_size
+        self.batches += 1
+        self.largest_batch = max(self.largest_batch, batch_size)
+        self.scoring_seconds += seconds
+
+    def record_cache(self, hits: int, misses: int) -> None:
+        self.cache_hits += hits
+        self.cache_misses += misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of vectorisation lookups served from the cache."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def pairs_per_second(self) -> float:
+        """Scored pairs per second of scoring wall-clock."""
+        if self.scoring_seconds <= 0.0:
+            return 0.0
+        return self.pairs_scored / self.scoring_seconds
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.pairs_scored / self.batches if self.batches else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        """A point-in-time copy of the counters plus derived rates."""
+        return {
+            "pairs_scored": float(self.pairs_scored),
+            "batches": float(self.batches),
+            "largest_batch": float(self.largest_batch),
+            "mean_batch_size": self.mean_batch_size,
+            "cache_hits": float(self.cache_hits),
+            "cache_misses": float(self.cache_misses),
+            "cache_hit_rate": self.cache_hit_rate,
+            "scoring_seconds": self.scoring_seconds,
+            "pairs_per_second": self.pairs_per_second,
+        }
+
+
+class RiskService:
+    """Serve risk scores from a fitted :class:`LearnRiskPipeline`.
+
+    Parameters
+    ----------
+    pipeline:
+        A fitted pipeline (freshly fitted or loaded with
+        :func:`repro.serve.persistence.load_pipeline`).
+    max_batch_size:
+        Buffered :meth:`submit` calls auto-flush at this batch size.
+    cache_size:
+        Maximum number of metric vectors kept in the LRU vectorisation cache;
+        0 disables caching.
+    """
+
+    def __init__(
+        self,
+        pipeline: LearnRiskPipeline,
+        *,
+        max_batch_size: int = 256,
+        cache_size: int = 4096,
+    ) -> None:
+        if not pipeline.is_fitted:
+            raise NotFittedError("RiskService requires a fitted pipeline")
+        if max_batch_size < 1:
+            raise ConfigurationError("max_batch_size must be >= 1")
+        if cache_size < 0:
+            raise ConfigurationError("cache_size must be >= 0")
+        self.pipeline = pipeline
+        self.max_batch_size = max_batch_size
+        self.cache_size = cache_size
+        self.stats = ServiceStats()
+        self._lock = threading.RLock()
+        self._cache: OrderedDict[PairKey, np.ndarray] = OrderedDict()
+        self._buffer: list[tuple[RecordPair, PendingScore]] = []
+
+    # ------------------------------------------------------------ vectorising
+    def _vectorize(self, pairs: Sequence[RecordPair]) -> np.ndarray:
+        """Metric matrix for ``pairs``, served from the LRU cache where possible."""
+        vectorizer = self.pipeline.vectorizer
+        if self.cache_size == 0:
+            self.stats.record_cache(hits=0, misses=len(pairs))
+            return vectorizer.transform(pairs)
+
+        rows: list[np.ndarray | None] = [None] * len(pairs)
+        miss_indices: list[int] = []
+        hits = 0
+        for index, pair in enumerate(pairs):
+            key = pair_key(pair)
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                rows[index] = cached
+                hits += 1
+            else:
+                miss_indices.append(index)
+        self.stats.record_cache(hits=hits, misses=len(miss_indices))
+
+        for index in miss_indices:
+            vector = vectorizer.transform_pair(pairs[index])
+            rows[index] = vector
+            self._cache[pair_key(pairs[index])] = vector
+            self._cache.move_to_end(pair_key(pairs[index]))
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+
+        if not rows:
+            return np.zeros((0, vectorizer.n_features), dtype=float)
+        return np.vstack(rows)
+
+    def clear_cache(self) -> None:
+        """Drop every cached metric vector."""
+        with self._lock:
+            self._cache.clear()
+
+    @property
+    def cache_fill(self) -> int:
+        """Number of metric vectors currently cached."""
+        with self._lock:
+            return len(self._cache)
+
+    # ----------------------------------------------------------------- scoring
+    def _score_batch(self, pairs: Sequence[RecordPair]) -> list[ScoredPair]:
+        """Score ``pairs`` as one batch (caller holds the lock)."""
+        start = time.perf_counter()
+        matrix = self._vectorize(pairs)
+        probabilities = self.pipeline.classifier.predict_proba(matrix)
+        machine_labels = (probabilities >= 0.5).astype(int)
+        risk_scores = self.pipeline.risk_model.score(matrix, probabilities, machine_labels)
+        elapsed = time.perf_counter() - start
+        self.stats.record_batch(len(pairs), elapsed)
+        return [
+            ScoredPair(
+                pair=pair,
+                probability=float(probabilities[index]),
+                machine_label=int(machine_labels[index]),
+                risk_score=float(risk_scores[index]),
+            )
+            for index, pair in enumerate(pairs)
+        ]
+
+    def score_pairs(self, pairs: Iterable[RecordPair]) -> list[ScoredPair]:
+        """Score pairs immediately (independently of the submit buffer).
+
+        Large inputs are processed in micro-batches of ``max_batch_size`` so
+        memory stays bounded and batch statistics stay meaningful.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        results: list[ScoredPair] = []
+        # Lock per micro-batch, not across the whole input, so concurrent
+        # submit()/flush() callers are never blocked for more than one batch.
+        for start in range(0, len(pairs), self.max_batch_size):
+            with self._lock:
+                results.extend(self._score_batch(pairs[start:start + self.max_batch_size]))
+        return results
+
+    def risk_scores(self, pairs: Iterable[RecordPair]) -> np.ndarray:
+        """Risk scores only, as an array aligned with ``pairs``."""
+        return np.array([scored.risk_score for scored in self.score_pairs(pairs)], dtype=float)
+
+    def score_workload(self, workload: Workload) -> list[ScoredPair]:
+        """Score every pair of a workload through the serving path."""
+        return self.score_pairs(workload.pairs)
+
+    # --------------------------------------------------------- micro-batching
+    def submit(self, pair: RecordPair) -> PendingScore:
+        """Buffer a pair for batched scoring; auto-flushes at ``max_batch_size``."""
+        pending = PendingScore(self, pair)
+        with self._lock:
+            self._buffer.append((pair, pending))
+            if len(self._buffer) >= self.max_batch_size:
+                self._flush_locked()
+        return pending
+
+    def flush(self) -> int:
+        """Score every buffered pair now; returns the number of pairs scored."""
+        with self._lock:
+            return self._flush_locked()
+
+    def _flush_locked(self) -> int:
+        if not self._buffer:
+            return 0
+        buffered, self._buffer = self._buffer, []
+        try:
+            results = self._score_batch([pair for pair, _ in buffered])
+        except Exception:
+            # Put the batch back so a transient scoring failure loses nothing
+            # and every PendingScore can still be resolved by a later flush.
+            self._buffer = buffered + self._buffer
+            raise
+        for (_, pending), scored in zip(buffered, results):
+            pending._resolve(scored)
+        return len(results)
+
+    @property
+    def pending_count(self) -> int:
+        """Number of submitted pairs waiting for the next flush."""
+        with self._lock:
+            return len(self._buffer)

@@ -1,0 +1,244 @@
+"""Tests of the ModelRegistry (versioning, hot-swap, thread-safety) and the CLI."""
+
+from __future__ import annotations
+
+import csv
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.classifiers import LogisticRegressionClassifier, MLPClassifier
+from repro.data import split_workload
+from repro.data.io import export_workload
+from repro.exceptions import ConfigurationError
+from repro.pipeline import LearnRiskPipeline
+from repro.risk.onesided_tree import OneSidedTreeConfig
+from repro.risk.training import TrainingConfig
+from repro.serve import ModelRegistry, save_pipeline
+from repro.serve.cli import main
+
+
+def _fit_pipeline(workload, classifier=None, seed=0):
+    split = split_workload(workload, ratio=(3, 2, 5), seed=seed)
+    pipeline = LearnRiskPipeline(
+        classifier=classifier or MLPClassifier(hidden_sizes=(16,), epochs=15, seed=seed),
+        tree_config=OneSidedTreeConfig(max_depth=2, min_support=4, max_thresholds=24),
+        training_config=TrainingConfig(epochs=40),
+        seed=seed,
+    )
+    pipeline.fit(split.train, split.validation)
+    return pipeline, split
+
+
+@pytest.fixture(scope="module")
+def two_pipelines(ds_workload):
+    first, split = _fit_pipeline(ds_workload, seed=0)
+    second, _ = _fit_pipeline(
+        ds_workload, classifier=LogisticRegressionClassifier(epochs=80, seed=1), seed=0
+    )
+    return first, second, split
+
+
+class TestModelRegistry:
+    def test_register_autoincrements_versions(self, two_pipelines):
+        first, second, _ = two_pipelines
+        registry = ModelRegistry()
+        assert registry.register("ds", first) == 1
+        assert registry.register("ds", second) == 2
+        assert registry.versions("ds") == [1, 2]
+        assert registry.active_version("ds") == 2
+
+    def test_get_resolves_active_and_explicit_versions(self, two_pipelines):
+        first, second, _ = two_pipelines
+        registry = ModelRegistry()
+        registry.register("ds", first)
+        registry.register("ds", second)
+        assert registry.get("ds") is second
+        assert registry.get("ds", version=1) is first
+
+    def test_hot_swap_changes_served_scores(self, two_pipelines):
+        first, second, split = two_pipelines
+        registry = ModelRegistry(max_batch_size=64)
+        registry.register("ds", first)
+        pairs = split.test.pairs[:20]
+        before = registry.service("ds").risk_scores(pairs)
+
+        registry.register("ds", second)  # hot-swap
+        after = registry.service("ds").risk_scores(pairs)
+        assert not np.array_equal(before, after)
+        expected = second.analyse(split.test.subset(range(20))).risk_scores
+        np.testing.assert_array_equal(after, expected)
+        # Roll back to version 1: scores revert exactly.
+        registry.activate("ds", 1)
+        np.testing.assert_array_equal(registry.service("ds").risk_scores(pairs), before)
+
+    def test_duplicate_version_rejected(self, two_pipelines):
+        first, second, _ = two_pipelines
+        registry = ModelRegistry()
+        registry.register("ds", first, version=3)
+        with pytest.raises(ConfigurationError, match="already has a version 3"):
+            registry.register("ds", second, version=3)
+
+    def test_unknown_lookups_raise(self, two_pipelines):
+        first, _, _ = two_pipelines
+        registry = ModelRegistry()
+        with pytest.raises(ConfigurationError, match="unknown model"):
+            registry.get("absent")
+        registry.register("ds", first)
+        with pytest.raises(ConfigurationError, match="no version 9"):
+            registry.get("ds", version=9)
+        with pytest.raises(ConfigurationError, match="no version 9"):
+            registry.activate("ds", 9)
+
+    def test_register_without_activate_keeps_old_active(self, two_pipelines):
+        first, second, _ = two_pipelines
+        registry = ModelRegistry()
+        registry.register("ds", first)
+        registry.register("ds", second, activate=False)
+        assert registry.active_version("ds") == 1
+        assert registry.get("ds") is first
+
+    def test_load_from_disk(self, two_pipelines, tmp_path):
+        first, _, split = two_pipelines
+        save_pipeline(first, tmp_path / "model")
+        registry = ModelRegistry()
+        version = registry.load("ds", tmp_path / "model")
+        assert version == 1
+        pairs = split.test.pairs[:10]
+        expected = first.analyse(split.test.subset(range(10))).risk_scores
+        np.testing.assert_array_equal(registry.service("ds").risk_scores(pairs), expected)
+
+    def test_unregister(self, two_pipelines):
+        first, second, _ = two_pipelines
+        registry = ModelRegistry()
+        registry.register("ds", first)
+        registry.register("ds", second)
+        registry.unregister("ds", 2)
+        assert registry.versions("ds") == [1]
+        assert registry.active_version("ds") == 1
+        registry.unregister("ds")
+        with pytest.raises(ConfigurationError):
+            registry.versions("ds")
+
+    def test_service_is_memoised_per_version(self, two_pipelines):
+        first, second, _ = two_pipelines
+        registry = ModelRegistry()
+        registry.register("ds", first)
+        assert registry.service("ds") is registry.service("ds")
+        registry.register("ds", second)
+        assert registry.service("ds", version=1) is not registry.service("ds")
+
+    def test_describe(self, two_pipelines):
+        first, second, _ = two_pipelines
+        registry = ModelRegistry()
+        registry.register("a", first)
+        registry.register("a", second)
+        registry.register("b", first)
+        assert registry.describe() == {
+            "a": {"versions": [1, 2], "active": 2},
+            "b": {"versions": [1], "active": 1},
+        }
+
+    def test_concurrent_register_and_lookup(self, two_pipelines):
+        first, _, split = two_pipelines
+        registry = ModelRegistry(max_batch_size=32)
+        registry.register("ds", first)
+        pairs = split.test.pairs[:10]
+        errors: list[Exception] = []
+
+        def register_worker() -> None:
+            try:
+                for _ in range(5):
+                    registry.register("ds", first)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        def score_worker() -> None:
+            try:
+                for _ in range(5):
+                    registry.service("ds").risk_scores(pairs)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=register_worker) for _ in range(2)]
+        threads += [threading.Thread(target=score_worker) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert registry.versions("ds") == list(range(1, 12))
+
+
+class TestCli:
+    @pytest.fixture(scope="class")
+    def csv_workload_dir(self, ds_workload, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("csv-workload")
+        export_workload(ds_workload, directory)
+        return directory, ds_workload
+
+    @pytest.fixture(scope="class")
+    def schema_file(self, ds_workload, tmp_path_factory):
+        path = tmp_path_factory.mktemp("schema") / "schema.json"
+        path.write_text(json.dumps(ds_workload.left_table.schema.to_dict()))
+        return path
+
+    @pytest.fixture(scope="class")
+    def fitted_model_dir(self, csv_workload_dir, schema_file, tmp_path_factory):
+        directory, workload = csv_workload_dir
+        model_dir = tmp_path_factory.mktemp("models") / "ds"
+        exit_code = main([
+            "fit",
+            "--data-dir", str(directory),
+            "--name", workload.name,
+            "--schema", str(schema_file),
+            "--classifier", "logistic",
+            "--epochs", "60",
+            "--risk-epochs", "30",
+            "--rule-depth", "2",
+            "--output", str(model_dir),
+        ])
+        assert exit_code == 0
+        return model_dir
+
+    def test_fit_writes_model_files(self, fitted_model_dir):
+        assert {p.name for p in fitted_model_dir.iterdir()} == {
+            "manifest.json", "state.json", "arrays.npz"
+        }
+
+    def test_score_csv_workload(self, fitted_model_dir, csv_workload_dir, tmp_path, capsys):
+        directory, workload = csv_workload_dir
+        output = tmp_path / "scores.csv"
+        exit_code = main([
+            "score",
+            "--model", str(fitted_model_dir),
+            "--data-dir", str(directory),
+            "--name", workload.name,
+            "--output", str(output),
+            "--repeat", "2",
+        ])
+        assert exit_code == 0
+        printed = capsys.readouterr().out
+        assert "pairs/s" in printed and "hit rate" in printed
+
+        with output.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(workload)
+        assert set(rows[0]) == {
+            "left_id", "right_id", "probability", "machine_label", "risk_score"
+        }
+        assert all(0.0 <= float(row["probability"]) <= 1.0 for row in rows)
+
+    def test_inspect(self, fitted_model_dir, capsys):
+        exit_code = main(["inspect", "--model", str(fitted_model_dir), "--rules", "2"])
+        assert exit_code == 0
+        printed = capsys.readouterr().out
+        assert "learn_risk_pipeline" in printed
+        assert "LogisticRegressionClassifier" in printed
+
+    def test_missing_model_fails_cleanly(self, tmp_path, capsys):
+        exit_code = main(["score", "--model", str(tmp_path / "absent"), "--dataset", "DS"])
+        assert exit_code == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,225 @@
+"""Tests of RiskService: batching, caching, stats, and parity with analyse()."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.classifiers import MLPClassifier
+from repro.data import split_workload
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.pipeline import LearnRiskPipeline
+from repro.risk.onesided_tree import OneSidedTreeConfig
+from repro.risk.training import TrainingConfig
+from repro.serve import RiskService, pair_key
+
+
+@pytest.fixture(scope="module")
+def served(ds_workload):
+    split = split_workload(ds_workload, ratio=(3, 2, 5), seed=0)
+    pipeline = LearnRiskPipeline(
+        classifier=MLPClassifier(hidden_sizes=(16,), epochs=15, seed=0),
+        tree_config=OneSidedTreeConfig(max_depth=2, min_support=4, max_thresholds=24),
+        training_config=TrainingConfig(epochs=40),
+        seed=0,
+    )
+    pipeline.fit(split.train, split.validation)
+    return pipeline, split
+
+
+class TestConstruction:
+    def test_requires_fitted_pipeline(self):
+        with pytest.raises(NotFittedError):
+            RiskService(LearnRiskPipeline())
+
+    def test_validates_options(self, served):
+        pipeline, _ = served
+        with pytest.raises(ConfigurationError):
+            RiskService(pipeline, max_batch_size=0)
+        with pytest.raises(ConfigurationError):
+            RiskService(pipeline, cache_size=-1)
+
+
+class TestScoring:
+    def test_matches_pipeline_analyse_exactly(self, served):
+        # One service batch covering the workload reproduces analyse() bit for bit.
+        pipeline, split = served
+        service = RiskService(pipeline, max_batch_size=len(split.test))
+        report = pipeline.analyse(split.test)
+        scored = service.score_workload(split.test)
+        np.testing.assert_array_equal(
+            np.array([s.risk_score for s in scored]), report.risk_scores
+        )
+        np.testing.assert_array_equal(
+            np.array([s.probability for s in scored]), report.machine_probabilities
+        )
+        np.testing.assert_array_equal(
+            np.array([s.machine_label for s in scored]), report.machine_labels
+        )
+
+    def test_micro_batched_scores_match_analyse_closely(self, served):
+        # Micro-batching may change BLAS kernel choices; scores agree to 1e-12.
+        pipeline, split = served
+        service = RiskService(pipeline, max_batch_size=64)
+        report = pipeline.analyse(split.test)
+        scores = service.risk_scores(split.test.pairs)
+        np.testing.assert_allclose(scores, report.risk_scores, rtol=0.0, atol=1e-12)
+
+    def test_empty_input(self, served):
+        pipeline, _ = served
+        service = RiskService(pipeline)
+        assert service.score_pairs([]) == []
+        assert service.risk_scores([]).shape == (0,)
+
+    def test_micro_batching_splits_large_inputs(self, served):
+        pipeline, split = served
+        service = RiskService(pipeline, max_batch_size=10)
+        pairs = split.test.pairs[:35]
+        service.score_pairs(pairs)
+        stats = service.stats.snapshot()
+        assert stats["batches"] == 4
+        assert stats["largest_batch"] == 10
+        assert stats["pairs_scored"] == 35
+
+    def test_cached_rescoring_is_identical(self, served):
+        pipeline, split = served
+        service = RiskService(pipeline, cache_size=4096)
+        pairs = split.test.pairs[:50]
+        first = service.risk_scores(pairs)
+        second = service.risk_scores(pairs)
+        np.testing.assert_array_equal(first, second)
+        assert service.stats.cache_hits == 50
+        assert service.stats.cache_misses == 50
+
+
+class TestCache:
+    def test_hit_rate_grows_on_repeats(self, served):
+        pipeline, split = served
+        service = RiskService(pipeline, cache_size=4096)
+        pairs = split.test.pairs[:30]
+        for _ in range(4):
+            service.score_pairs(pairs)
+        assert service.stats.cache_hit_rate == pytest.approx(0.75)
+        assert service.cache_fill == 30
+
+    def test_lru_eviction_bounds_memory(self, served):
+        pipeline, split = served
+        service = RiskService(pipeline, cache_size=8)
+        service.score_pairs(split.test.pairs[:30])
+        assert service.cache_fill == 8
+
+    def test_lru_keeps_recently_used(self, served):
+        pipeline, split = served
+        service = RiskService(pipeline, cache_size=10)
+        hot = split.test.pairs[:10]
+        service.score_pairs(hot)
+        # Touch the hot set, then push one cold pair through: the coldest
+        # (least recently used) entry is evicted, not the hot ones.
+        service.score_pairs(hot)
+        service.score_pairs(split.test.pairs[10:11])
+        keys = {pair_key(pair) for pair in hot[1:]}
+        assert keys <= set(service._cache)
+        assert pair_key(hot[0]) not in service._cache
+
+    def test_cache_disabled(self, served):
+        pipeline, split = served
+        service = RiskService(pipeline, cache_size=0)
+        service.score_pairs(split.test.pairs[:10])
+        service.score_pairs(split.test.pairs[:10])
+        assert service.stats.cache_hits == 0
+        assert service.cache_fill == 0
+
+    def test_clear_cache(self, served):
+        pipeline, split = served
+        service = RiskService(pipeline)
+        service.score_pairs(split.test.pairs[:10])
+        service.clear_cache()
+        assert service.cache_fill == 0
+
+
+class TestSubmitFlush:
+    def test_submit_autoflushes_at_batch_size(self, served):
+        pipeline, split = served
+        service = RiskService(pipeline, max_batch_size=5)
+        pending = [service.submit(pair) for pair in split.test.pairs[:5]]
+        assert all(p.done for p in pending)
+        assert service.pending_count == 0
+
+    def test_result_forces_flush(self, served):
+        pipeline, split = served
+        service = RiskService(pipeline, max_batch_size=100)
+        pending = service.submit(split.test.pairs[0])
+        assert not pending.done
+        assert service.pending_count == 1
+        scored = pending.result()
+        assert pending.done
+        assert scored.pair is split.test.pairs[0]
+        assert service.pending_count == 0
+
+    def test_submitted_scores_match_batch_scores(self, served):
+        pipeline, split = served
+        service = RiskService(pipeline, max_batch_size=7)
+        pairs = split.test.pairs[:20]
+        pending = [service.submit(pair) for pair in pairs]
+        service.flush()
+        submitted = np.array([p.result().risk_score for p in pending])
+
+        # Same micro-batch boundaries => bit-identical scores.
+        batch_service = RiskService(pipeline, max_batch_size=7)
+        batched = np.array([s.risk_score for s in batch_service.score_pairs(pairs)])
+        np.testing.assert_array_equal(submitted, batched)
+        # Different batch shapes may pick different BLAS kernels; the scores
+        # still agree far below any ranking-relevant tolerance.
+        expected = pipeline.analyse(split.test.subset(range(20))).risk_scores
+        np.testing.assert_allclose(submitted, expected, rtol=0.0, atol=1e-12)
+
+    def test_flush_on_empty_buffer(self, served):
+        pipeline, _ = served
+        service = RiskService(pipeline)
+        assert service.flush() == 0
+
+    def test_scoring_failure_keeps_buffer_and_handles_resolvable(self, served, monkeypatch):
+        """A transient scoring error must not drop buffered pairs (code-review fix)."""
+        pipeline, split = served
+        service = RiskService(pipeline, max_batch_size=100)
+        pending = [service.submit(pair) for pair in split.test.pairs[:3]]
+
+        original = pipeline.classifier.predict_proba
+
+        def boom(features):
+            raise RuntimeError("transient classifier failure")
+
+        monkeypatch.setattr(pipeline.classifier, "predict_proba", boom)
+        with pytest.raises(RuntimeError, match="transient"):
+            service.flush()
+        assert service.pending_count == 3
+        assert not any(p.done for p in pending)
+
+        monkeypatch.setattr(pipeline.classifier, "predict_proba", original)
+        assert service.flush() == 3
+        assert all(p.done for p in pending)
+
+
+class TestThreadSafety:
+    def test_concurrent_scoring_is_consistent(self, served):
+        pipeline, split = served
+        service = RiskService(pipeline, max_batch_size=16, cache_size=64)
+        pairs = split.test.pairs[:40]
+        expected = pipeline.analyse(split.test.subset(range(40))).risk_scores
+        failures: list[str] = []
+
+        def worker() -> None:
+            for _ in range(3):
+                scores = service.risk_scores(pairs)
+                if not np.array_equal(scores, expected):
+                    failures.append("scores diverged under concurrency")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        assert service.stats.pairs_scored == 4 * 3 * 40
