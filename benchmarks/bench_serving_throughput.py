@@ -13,13 +13,16 @@ The reported claims: the warm pass is measurably faster than both the cold
 pass and the uncached control (vectorisation dominates scoring cost), and the
 warm-pass hit rate is 100%.
 
-Run directly (``python benchmarks/bench_serving_throughput.py``) or through
-pytest-benchmark (``pytest benchmarks/bench_serving_throughput.py``).
+Run directly (``python benchmarks/bench_serving_throughput.py``), through
+pytest-benchmark (``pytest benchmarks/bench_serving_throughput.py``), or as a
+fast CI guard (``python benchmarks/bench_serving_throughput.py --smoke``) that
+exercises the full fit/save/load/serve path on a small workload and fails if
+the cache stops helping.
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 import tempfile
 from pathlib import Path
 
@@ -116,8 +119,32 @@ def test_serving_throughput(benchmark):
     assert results["cache_speedup_vs_uncached"] > 1.1
 
 
-if __name__ == "__main__":
-    measured = run_serving_benchmark(
-        scale=float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
-    )
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("scale", nargs="?", type=float, default=0.5,
+                        help="workload scale (default 0.5)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI mode: small workload, assert the cache still helps")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        measured = run_serving_benchmark(scale=0.15, batch_size=64, repeats=2)
+    else:
+        measured = run_serving_benchmark(scale=args.scale)
     print(format_results(measured))
+
+    if args.smoke:
+        # The same guards the pytest-benchmark entry point enforces; a zero
+        # exit code means the serving path and its cache still work.
+        if measured["warm_cache_hit_rate"] != 1.0:
+            print("SMOKE FAILURE: warm cache hit rate below 100%")
+            return 1
+        if measured["cache_speedup_vs_uncached"] <= 1.0:
+            print("SMOKE FAILURE: cache no longer speeds up repeat traffic")
+            return 1
+        print("smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,7 +24,6 @@ from repro.risk import (
 )
 from repro.risk.distributions import truncated_normal_quantile
 from repro.classifiers import MLPClassifier
-from repro.features import PairVectorizer
 
 
 def main() -> None:

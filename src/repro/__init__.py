@@ -18,6 +18,18 @@ Quick start::
     print(report.auroc, report.top_risky(3))
 """
 
+from .compose import (
+    ComponentSpec,
+    PipelineSpec,
+    StagedPipeline,
+    build_pipeline,
+    register_classifier,
+    register_risk_feature_generator,
+    register_risk_metric,
+    register_vectorizer,
+    registered_classifiers,
+    registered_risk_metrics,
+)
 from .data import (
     MATCH,
     UNMATCH,
@@ -45,30 +57,47 @@ from .risk import (
     RiskFeatureGenerator,
     TrainingConfig,
 )
-from .serve import ModelRegistry, RiskService, load_pipeline, save_pipeline
+from .serve import (
+    ModelRegistry,
+    RiskService,
+    load_pipeline,
+    load_staged_pipeline,
+    save_pipeline,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "ComponentSpec",
     "GeneratedRiskFeatures",
     "LearnRiskModel",
     "LearnRiskPipeline",
     "MATCH",
     "ModelRegistry",
     "OneSidedTreeConfig",
+    "PipelineSpec",
     "Record",
     "RecordPair",
     "RiskFeatureGenerator",
     "RiskReport",
     "RiskService",
     "Schema",
+    "StagedPipeline",
     "Table",
     "TrainingConfig",
     "UNMATCH",
     "Workload",
     "auroc_score",
+    "build_pipeline",
     "load_dataset",
     "load_pipeline",
+    "load_staged_pipeline",
+    "register_classifier",
+    "register_risk_feature_generator",
+    "register_risk_metric",
+    "register_vectorizer",
+    "registered_classifiers",
+    "registered_risk_metrics",
     "run_comparative_experiment",
     "run_holoclean_comparison",
     "run_ood_experiment",

@@ -1,0 +1,206 @@
+"""String-keyed component registries of the composable pipeline API.
+
+A :class:`PipelineSpec` names its components by string keys (``"mlp"``,
+``"onesided_tree"``, ``"basic"``, ``"var"``); the registries in this module map
+those keys to factories so that new classifiers, vectorisers, risk-feature
+generators and risk metrics plug in through registration instead of edits to
+core code::
+
+    from repro.compose import register_classifier
+
+    @register_classifier("always-half")
+    def build_always_half(seed: int = 0):
+        return AlwaysHalfClassifier()
+
+Factory protocols
+-----------------
+classifier
+    ``factory(**params) -> BaseClassifier``.  When the factory accepts a
+    ``seed`` parameter and the spec params do not set one, the spec's seed is
+    injected, so one spec-level seed drives every seeded component.
+vectorizer
+    ``factory(schema, **params) -> PairVectorizer``; called lazily at
+    ``fit_vectorizer`` time because the schema comes from the training data.
+risk_features
+    ``factory(**params) -> RiskFeatureGenerator`` (or any object with the same
+    ``generate(workload, vectorizer=...)`` protocol).
+risk metric
+    ``function(distribution, machine_labels, *, theta) -> np.ndarray``; risk
+    metrics live in the core registry of :mod:`repro.risk.metrics`, re-exported
+    here so ``repro.compose`` is the one-stop registration surface.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Mapping
+
+from ..classifiers import (
+    BootstrapEnsemble,
+    DecisionTreeClassifier,
+    LogisticRegressionClassifier,
+    MLPClassifier,
+    RandomForestClassifier,
+)
+from ..classifiers.base import BaseClassifier
+from ..data.schema import Schema
+from ..exceptions import ConfigurationError
+from ..features.vectorizer import PairVectorizer
+from ..registry import ComponentRegistry
+from ..risk.feature_generation import RiskFeatureGenerator
+from ..risk.metrics import (  # noqa: F401 — re-exported registration surface
+    register_risk_metric,
+    registered_risk_metrics,
+    resolve_risk_metric,
+)
+from ..risk.onesided_tree import OneSidedTreeConfig
+from ..serialization import dataclass_from_dict
+
+
+#: Registry of machine-classifier factories (``factory(**params)``).
+CLASSIFIERS = ComponentRegistry("classifier")
+#: Registry of vectoriser factories (``factory(schema, **params)``).
+VECTORIZERS = ComponentRegistry("vectorizer")
+#: Registry of risk-feature-generator factories (``factory(**params)``).
+RISK_FEATURE_GENERATORS = ComponentRegistry("risk feature generator")
+
+
+def register_classifier(
+    key: str, factory: Callable[..., BaseClassifier] | None = None, *, overwrite: bool = False
+) -> Callable[..., Any]:
+    """Register a classifier factory under ``key`` (usable as a decorator)."""
+    return CLASSIFIERS.register(key, factory, overwrite=overwrite)
+
+
+def register_vectorizer(
+    key: str, factory: Callable[..., PairVectorizer] | None = None, *, overwrite: bool = False
+) -> Callable[..., Any]:
+    """Register a vectoriser factory under ``key`` (usable as a decorator)."""
+    return VECTORIZERS.register(key, factory, overwrite=overwrite)
+
+
+def register_risk_feature_generator(
+    key: str, factory: Callable[..., Any] | None = None, *, overwrite: bool = False
+) -> Callable[..., Any]:
+    """Register a risk-feature-generator factory under ``key`` (usable as a decorator)."""
+    return RISK_FEATURE_GENERATORS.register(key, factory, overwrite=overwrite)
+
+
+def registered_classifiers() -> list[str]:
+    """Registered classifier keys, sorted."""
+    return CLASSIFIERS.keys()
+
+
+def registered_vectorizers() -> list[str]:
+    """Registered vectoriser keys, sorted."""
+    return VECTORIZERS.keys()
+
+
+def registered_risk_feature_generators() -> list[str]:
+    """Registered risk-feature-generator keys, sorted."""
+    return RISK_FEATURE_GENERATORS.keys()
+
+
+def _accepts_parameter(factory: Callable[..., Any], name: str) -> bool:
+    """Whether ``factory`` accepts a keyword parameter called ``name``."""
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # builtins without introspectable signatures
+        return False
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if parameter.name == name and parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            return True
+    return False
+
+
+def create_classifier(kind: str, params: Mapping[str, Any], seed: int = 0) -> BaseClassifier:
+    """Build a classifier from its registry key, injecting the spec seed.
+
+    ``seed`` is only injected when the factory accepts one and ``params`` does
+    not already pin it, so unseeded custom factories keep working.
+    """
+    params = dict(params)
+    if "seed" not in params and _accepts_parameter(CLASSIFIERS.get(kind), "seed"):
+        params["seed"] = seed
+    classifier = CLASSIFIERS.create(kind, **params)
+    if not isinstance(classifier, BaseClassifier):
+        raise ConfigurationError(
+            f"classifier factory {kind!r} returned {type(classifier).__name__}, "
+            f"expected a BaseClassifier"
+        )
+    return classifier
+
+
+def create_vectorizer(kind: str, schema: Schema, params: Mapping[str, Any]) -> PairVectorizer:
+    """Build a vectoriser for ``schema`` from its registry key."""
+    return VECTORIZERS.create(kind, schema, **dict(params))
+
+
+def create_risk_feature_generator(kind: str, params: Mapping[str, Any], seed: int = 0) -> Any:
+    """Build a risk-feature generator from its registry key (seed-injected like classifiers)."""
+    params = dict(params)
+    if "seed" not in params and _accepts_parameter(RISK_FEATURE_GENERATORS.get(kind), "seed"):
+        params["seed"] = seed
+    return RISK_FEATURE_GENERATORS.create(kind, **params)
+
+
+# ------------------------------------------------------------------ built-ins
+register_classifier("mlp", MLPClassifier)
+register_classifier("logistic", LogisticRegressionClassifier)
+register_classifier("tree", DecisionTreeClassifier)
+register_classifier("forest", RandomForestClassifier)
+register_classifier("ensemble", BootstrapEnsemble)
+
+
+@register_vectorizer("basic")
+def build_basic_vectorizer(schema: Schema, kinds: list[str] | None = None) -> PairVectorizer:
+    """All basic metrics applicable to the schema; ``kinds`` optionally filters
+    to ``"similarity"`` and/or ``"difference"`` metrics."""
+    vectorizer = PairVectorizer(schema)
+    if kinds is not None:
+        wanted = set(kinds)
+        known = {spec.kind for spec in vectorizer.metrics}
+        unknown = wanted - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown metric kinds {sorted(unknown)}; available: {sorted(known)}"
+            )
+        vectorizer = PairVectorizer(
+            schema, metrics=[spec for spec in vectorizer.metrics if spec.kind in wanted]
+        )
+    return vectorizer
+
+
+@register_risk_feature_generator("onesided_tree")
+def build_onesided_tree_generator(
+    tree: Mapping[str, Any] | None = None,
+    min_rule_coverage: int = 5,
+    expectation_smoothing: float = 1.0,
+) -> RiskFeatureGenerator:
+    """The paper's one-sided decision-tree rule generator.
+
+    ``tree`` holds :class:`OneSidedTreeConfig` fields (``max_depth``,
+    ``min_support``, ``lam``, ...); unknown field names are rejected.
+    """
+    tree_config = None
+    if tree is not None:
+        import dataclasses
+
+        known = {field.name for field in dataclasses.fields(OneSidedTreeConfig)}
+        unknown = set(tree) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown one-sided tree parameters {sorted(unknown)}; "
+                f"known parameters: {sorted(known)}"
+            )
+        tree_config = dataclass_from_dict(OneSidedTreeConfig, tree)
+    return RiskFeatureGenerator(
+        tree_config=tree_config,
+        min_rule_coverage=min_rule_coverage,
+        expectation_smoothing=expectation_smoothing,
+    )

@@ -17,7 +17,6 @@ All corruption operations are pure functions of an explicit
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
 
 import numpy as np
 

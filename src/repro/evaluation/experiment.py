@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -40,7 +40,7 @@ from ..features.metric_registry import SIMILARITY
 from ..data.datasets import load_dataset
 from ..data.records import Record, RecordPair, Table
 from ..data.schema import Schema
-from ..data.workload import Workload, WorkloadSplit, split_workload
+from ..data.workload import Workload, split_workload
 from ..exceptions import ConfigurationError, DataError
 from ..features.vectorizer import PairVectorizer
 from ..risk.feature_generation import GeneratedRiskFeatures, RiskFeatureGenerator
@@ -53,6 +53,26 @@ from .roc import RocCurve, auroc_score, mislabel_indicator, roc_curve
 def default_classifier_factory(seed: int = 0) -> BaseClassifier:
     """The machine classifier of record: an MLP over the basic metrics."""
     return MLPClassifier(hidden_sizes=(32, 16), epochs=60, l2=1e-5, seed=seed)
+
+
+def resolve_classifier(
+    classifier: "BaseClassifier | str | dict | None", seed: int = 0
+) -> BaseClassifier | None:
+    """Accept a classifier instance, a registry key, or a component-spec dict.
+
+    Strings and ``{"kind": ..., "params": ...}`` mappings are resolved through
+    the :mod:`repro.compose` classifier registry, so experiment entry points
+    can be driven by the same declarative configuration as the pipelines.
+    ``None`` passes through (callers fall back to the default factory).
+    """
+    if classifier is None or isinstance(classifier, BaseClassifier):
+        return classifier
+    # Imported lazily: repro.compose imports this package for ROC helpers.
+    from ..compose.registries import create_classifier
+    from ..compose.spec import ComponentSpec
+
+    spec = ComponentSpec.coerce(classifier, "classifier")
+    return create_classifier(spec.kind, spec.params, seed)
 
 
 def restrict_classifier_view(
@@ -170,7 +190,7 @@ def _label_split(split: LabeledSplit, classifier: BaseClassifier) -> None:
 def prepare_experiment(
     workload: Workload,
     ratio: tuple[float, float, float] = (3, 2, 5),
-    classifier: BaseClassifier | None = None,
+    classifier: BaseClassifier | str | dict | None = None,
     tree_config: OneSidedTreeConfig | None = None,
     vectorizer: PairVectorizer | None = None,
     classifier_metric_kind: str | None = SIMILARITY,
@@ -195,7 +215,7 @@ def prepare_experiment(
     validation = as_split(split.validation)
     test = as_split(split.test)
 
-    classifier = classifier or default_classifier_factory(seed)
+    classifier = resolve_classifier(classifier, seed) or default_classifier_factory(seed)
     classifier = restrict_classifier_view(classifier, vectorizer, classifier_metric_kind)
     classifier.fit(train.features, train.ground_truth)
     for part in (train, validation, test):
@@ -263,7 +283,7 @@ def run_comparative_experiment(
     ratio: tuple[float, float, float] = (3, 2, 5),
     scale: float = 1.0,
     scorers: Sequence[BaseRiskScorer] | None = None,
-    classifier: BaseClassifier | None = None,
+    classifier: BaseClassifier | str | dict | None = None,
     tree_config: OneSidedTreeConfig | None = None,
     seed: int = 0,
 ) -> ExperimentResult:
@@ -344,7 +364,7 @@ def run_ood_experiment(
     target_ratio: tuple[float, float, float] = (0, 3, 7),
     rename_source: dict[str, str] | None = None,
     scorers: Sequence[BaseRiskScorer] | None = None,
-    classifier: BaseClassifier | None = None,
+    classifier: BaseClassifier | str | dict | None = None,
     tree_config: OneSidedTreeConfig | None = None,
     classifier_metric_kind: str | None = SIMILARITY,
     seed: int = 0,
@@ -368,7 +388,7 @@ def run_ood_experiment(
         features=vectorizer.transform(source_split.train.pairs),
         ground_truth=source_split.train.labels(),
     )
-    classifier = classifier or default_classifier_factory(seed)
+    classifier = resolve_classifier(classifier, seed) or default_classifier_factory(seed)
     classifier = restrict_classifier_view(classifier, vectorizer, classifier_metric_kind)
     classifier.fit(train.features, train.ground_truth)
     _label_split(train, classifier)

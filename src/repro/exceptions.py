@@ -25,8 +25,13 @@ class NotFittedError(ReproError):
     """A model method requiring a fitted model was called before ``fit``."""
 
 
-class ConfigurationError(ReproError):
-    """An invalid parameter value or combination of parameters was supplied."""
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter value or combination of parameters was supplied.
+
+    Also a :class:`ValueError` so that callers following the standard-library
+    convention (``except ValueError``) catch configuration mistakes without
+    importing the library's exception hierarchy.
+    """
 
 
 class PersistenceError(ReproError):

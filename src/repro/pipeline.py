@@ -3,9 +3,13 @@
 :class:`LearnRiskPipeline` wraps the full LearnRisk workflow — vectorisation,
 classifier training, risk-feature generation, risk-model training and scoring —
 behind a small sklearn-style interface operating directly on
-:class:`~repro.data.workload.Workload` objects.  It is the entry point the
-examples and most downstream users interact with; the lower-level pieces remain
-available for custom setups.
+:class:`~repro.data.workload.Workload` objects.  Since the ``repro.compose``
+redesign it is a thin backwards-compatible facade over
+:class:`~repro.compose.staged.StagedPipeline`: the staged protocol
+(``fit_vectorizer`` → ``fit_classifier`` → ``generate_risk_features`` →
+``fit_risk_model``), incremental ``refit_risk_model`` and streaming
+``analyse_batches`` are all inherited, while this class keeps the classic
+constructor and the monolithic ``fit(train, validation)`` entry point.
 
 Example
 -------
@@ -23,48 +27,20 @@ LearnRiskPipeline(...)
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict
 
-import numpy as np
-
-from .classifiers.base import BaseClassifier, classifier_from_state
-from .data.records import RecordPair
-from .data.workload import Workload
+from .classifiers.base import BaseClassifier
+from .compose.spec import ComponentSpec, PipelineSpec, component_spec_for_classifier
+from .compose.staged import RiskReport, StagedPipeline
 from .evaluation.experiment import default_classifier_factory
-from .evaluation.roc import auroc_score, mislabel_indicator
-from .exceptions import NotFittedError
-from .features.vectorizer import PairVectorizer
-from .risk.feature_generation import GeneratedRiskFeatures, RiskFeatureGenerator
-from .risk.model import FeatureExplanation, LearnRiskModel
+from .risk.feature_generation import RiskFeatureGenerator
 from .risk.onesided_tree import OneSidedTreeConfig
 from .risk.training import TrainingConfig
-from .serialization import (
-    component_state,
-    dataclass_from_dict,
-    require_state,
-    state_field,
-)
+
+__all__ = ["LearnRiskPipeline", "RiskReport"]
 
 
-@dataclass
-class RiskReport:
-    """The outcome of analysing a workload with a fitted pipeline."""
-
-    pairs: list[RecordPair]
-    machine_probabilities: np.ndarray
-    machine_labels: np.ndarray
-    risk_scores: np.ndarray
-    ranking: np.ndarray
-    auroc: float | None = None
-    explanations: dict[int, list[FeatureExplanation]] = field(default_factory=dict)
-
-    def top_risky(self, k: int = 10) -> list[tuple[RecordPair, float]]:
-        """The ``k`` riskiest pairs with their scores, most risky first."""
-        top = self.ranking[:k]
-        return [(self.pairs[int(index)], float(self.risk_scores[int(index)])) for index in top]
-
-
-class LearnRiskPipeline:
+class LearnRiskPipeline(StagedPipeline):
     """End-to-end LearnRisk: classifier + risk features + learnable risk model.
 
     Parameters
@@ -76,9 +52,14 @@ class LearnRiskPipeline:
     training_config:
         Risk-model training configuration (VaR confidence, epochs, ...).
     risk_metric:
-        ``"var"`` (default), ``"cvar"`` or ``"expectation"``.
+        Name of a registered risk metric — ``"var"`` (default), ``"cvar"``,
+        ``"expectation"``, or anything added through
+        :func:`repro.compose.register_risk_metric`.  Validated eagerly: an
+        unknown name raises :class:`ValueError` here, not during training.
     seed:
-        Seed forwarded to the default classifier.
+        Seed forwarded to the default classifier.  (Unlike the spec-driven
+        path, a default-constructed ``TrainingConfig`` keeps its own seed,
+        preserving the legacy fitting behaviour bit for bit.)
     """
 
     def __init__(
@@ -89,167 +70,53 @@ class LearnRiskPipeline:
         risk_metric: str = "var",
         seed: int = 0,
     ) -> None:
-        self.classifier = classifier or default_classifier_factory(seed)
+        classifier = classifier or default_classifier_factory(seed)
+        training_config = training_config or TrainingConfig()
+        spec = PipelineSpec(
+            # A registry-valid description of the instance, so the spec.json
+            # sidecar written at save time can re-create this configuration.
+            classifier=component_spec_for_classifier(classifier),
+            risk_features=ComponentSpec(
+                "onesided_tree",
+                {} if tree_config is None else {"tree": asdict(tree_config)},
+            ),
+            risk_metric=risk_metric,
+            training=asdict(training_config),
+            seed=seed,
+        )
+        super().__init__(
+            spec,
+            classifier=classifier,
+            feature_generator=RiskFeatureGenerator(tree_config=tree_config),
+            training_config=training_config,
+        )
         self.tree_config = tree_config
-        self.training_config = training_config or TrainingConfig()
-        self.risk_metric = risk_metric
-        self.seed = seed
-        self.vectorizer: PairVectorizer | None = None
-        self.risk_features: GeneratedRiskFeatures | None = None
-        self.risk_model: LearnRiskModel | None = None
-        self._fitted = False
 
-    # ------------------------------------------------------------------- fit
-    def fit(self, train: Workload, validation: Workload) -> "LearnRiskPipeline":
-        """Train the classifier on ``train`` and the risk model on ``validation``."""
-        self.vectorizer = PairVectorizer(train.left_table.schema)
-        self.vectorizer.fit(train.left_table, train.right_table)
-
-        train_features = self.vectorizer.transform(train.pairs)
-        train_labels = train.labels()
-        self.classifier.fit(train_features, train_labels)
-
-        generator = RiskFeatureGenerator(tree_config=self.tree_config)
-        self.risk_features = generator.generate(train, vectorizer=self.vectorizer)
-        self.risk_model = LearnRiskModel(
-            self.risk_features, config=self.training_config, risk_metric=self.risk_metric
-        )
-
-        validation_features = self.vectorizer.transform(validation.pairs)
-        validation_probabilities = self.classifier.predict_proba(validation_features)
-        validation_machine_labels = (validation_probabilities >= 0.5).astype(int)
-        self.risk_model.fit(
-            validation_features,
-            validation_probabilities,
-            validation_machine_labels,
-            validation.labels(),
-        )
-        self._fitted = True
-        return self
+    # Legacy attribute views over the spec -----------------------------------
+    @property
+    def risk_metric(self) -> str:
+        """The configured risk-metric name (lives in the spec)."""
+        return self.spec.risk_metric
 
     @property
-    def is_fitted(self) -> bool:
-        """``True`` once :meth:`fit` has completed (or a fitted state was loaded)."""
-        return self._fitted
-
-    @property
-    def ready(self) -> bool:
-        """Alias of :attr:`is_fitted`, the vocabulary used by the serving layer."""
-        return self.is_fitted
-
-    def _check_fitted(self) -> None:
-        if not self.is_fitted:
-            raise NotFittedError("LearnRiskPipeline is not fitted yet")
-
-    # ----------------------------------------------------------------- label
-    def label(self, workload: Workload) -> tuple[np.ndarray, np.ndarray]:
-        """Label a workload with the classifier: ``(probabilities, hard labels)``."""
-        self._check_fitted()
-        features = self.vectorizer.transform(workload.pairs)
-        probabilities = self.classifier.predict_proba(features)
-        return probabilities, (probabilities >= 0.5).astype(int)
-
-    # --------------------------------------------------------------- analyse
-    def analyse(
-        self, workload: Workload, explain_top: int = 0
-    ) -> RiskReport:
-        """Label ``workload`` and rank its pairs by mislabeling risk.
-
-        When the workload carries ground truth the report includes the AUROC
-        of the risk ranking; ``explain_top`` attaches rule-level explanations
-        for the given number of riskiest pairs.
-        """
-        self._check_fitted()
-        features = self.vectorizer.transform(workload.pairs)
-        probabilities = self.classifier.predict_proba(features)
-        machine_labels = (probabilities >= 0.5).astype(int)
-        risk_scores = self.risk_model.score(features, probabilities, machine_labels)
-        ranking = np.argsort(-risk_scores, kind="stable")
-
-        # AUROC is only defined for labeled workloads on which the classifier
-        # made some (but not only) mistakes; check explicitly instead of
-        # swallowing exceptions, so genuine scoring bugs surface.
-        auroc = None
-        if workload.is_labeled and len(workload) > 0:
-            ground_truth = workload.labels()
-            risk_labels = mislabel_indicator(machine_labels, ground_truth)
-            if 0 < risk_labels.sum() < len(risk_labels):
-                auroc = auroc_score(risk_labels, risk_scores)
-
-        explanations: dict[int, list[FeatureExplanation]] = {}
-        for index in ranking[:explain_top]:
-            explanations[int(index)] = self.risk_model.explain(
-                features[int(index)], float(probabilities[int(index)])
-            )
-        return RiskReport(
-            pairs=list(workload.pairs),
-            machine_probabilities=probabilities,
-            machine_labels=machine_labels,
-            risk_scores=risk_scores,
-            ranking=ranking,
-            auroc=auroc,
-            explanations=explanations,
-        )
-
-    def explain_pair(self, pair: RecordPair, top_k: int | None = None) -> list[FeatureExplanation]:
-        """Explain a single pair's risk in terms of the rules covering it."""
-        self._check_fitted()
-        features = self.vectorizer.transform([pair])
-        probability = float(self.classifier.predict_proba(features)[0])
-        return self.risk_model.explain(features[0], probability, top_k=top_k)
+    def seed(self) -> int:
+        """The pipeline seed (lives in the spec)."""
+        return self.spec.seed
 
     # ------------------------------------------------------------ persistence
-    STATE_KIND = "learn_risk_pipeline"
-    STATE_VERSION = 1
-
-    def to_state(self) -> dict:
-        """Export the full pipeline (classifier, vectoriser, risk model) as a state dict.
-
-        Use :func:`repro.serve.persistence.save_pipeline` to write the state to
-        disk as JSON + npz; this method only builds the in-memory structure.
-        """
-        self._check_fitted()
-        return component_state(self.STATE_KIND, self.STATE_VERSION, {
-            "classifier": self.classifier.to_state(),
-            "tree_config": None if self.tree_config is None else asdict(self.tree_config),
-            "training_config": asdict(self.training_config),
-            "risk_metric": self.risk_metric,
-            "seed": self.seed,
-            "vectorizer": self.vectorizer.to_state(),
-            # The vectoriser is shared with the risk features; store it once
-            # at the pipeline level and re-wire the sharing on load.
-            "risk_model": self.risk_model.to_state(include_vectorizer=False),
-        })
-
     @classmethod
     def from_state(cls, state: dict) -> "LearnRiskPipeline":
         """Rebuild a fitted pipeline written by :meth:`to_state`."""
-        state = require_state(state, cls.STATE_KIND, cls.STATE_VERSION)
-        tree_config = state.get("tree_config")
+        parts = cls._parts_from_state(state)
         pipeline = cls(
-            classifier=classifier_from_state(state_field(state, "classifier", cls.STATE_KIND)),
-            tree_config=(
-                None if tree_config is None
-                else dataclass_from_dict(OneSidedTreeConfig, tree_config)
-            ),
-            training_config=dataclass_from_dict(
-                TrainingConfig, state_field(state, "training_config", cls.STATE_KIND)
-            ),
-            risk_metric=str(state.get("risk_metric", "var")),
-            seed=int(state.get("seed", 0)),
+            classifier=parts.classifier,
+            tree_config=parts.tree_config,
+            training_config=parts.training_config,
+            risk_metric=parts.spec.risk_metric,
+            seed=parts.spec.seed,
         )
-        pipeline.vectorizer = PairVectorizer.from_state(
-            state_field(state, "vectorizer", cls.STATE_KIND)
-        )
-        # Share the single loaded vectoriser with the risk features, mirroring
-        # the object graph fit() builds.
-        pipeline.risk_model = LearnRiskModel.from_state(
-            state_field(state, "risk_model", cls.STATE_KIND), vectorizer=pipeline.vectorizer
-        )
-        pipeline.risk_features = pipeline.risk_model.features
-        if pipeline.risk_model.config == pipeline.training_config:
-            # fit() shares one TrainingConfig between pipeline and risk model;
-            # restore that sharing instead of keeping two equal copies.
-            pipeline.risk_model.config = pipeline.training_config
-        pipeline._fitted = True
+        # Keep the full saved spec (decision threshold, component params)
+        # rather than the reconstruction the legacy constructor derived.
+        pipeline.spec = parts.spec
+        pipeline._attach_fitted_state(parts)
         return pipeline

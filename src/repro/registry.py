@@ -1,0 +1,108 @@
+"""The shared string-keyed component-registry primitive.
+
+:class:`ComponentRegistry` maps string keys to factories (or plain callables)
+with uniform semantics everywhere a registry appears in the library: duplicate
+keys are rejected unless explicitly overwritten, unknown keys fail with an
+error naming the registered alternatives, and ``register`` doubles as a
+decorator.  The composable pipeline API (:mod:`repro.compose.registries`)
+builds its classifier/vectorizer/feature-generator registries on it, and the
+core risk-metric registry (:mod:`repro.risk.metrics`) is one too.
+
+This module deliberately depends only on :mod:`repro.exceptions` so that any
+layer of the library can host a registry without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from .exceptions import ConfigurationError
+
+
+class ComponentRegistry:
+    """A named mapping from string keys to component factories.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable component family name, used in error messages
+        (``"classifier"``, ``"vectorizer"``, ``"risk metric"``, ...).
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._factories: dict[str, Callable[..., Any]] = {}
+
+    def register(
+        self,
+        key: str,
+        factory: Callable[..., Any] | None = None,
+        *,
+        overwrite: bool = False,
+    ) -> Callable[..., Any]:
+        """Register ``factory`` under ``key``; usable as a decorator.
+
+        Raises
+        ------
+        ConfigurationError
+            When ``key`` is empty, the factory is not callable, or ``key`` is
+            already registered and ``overwrite`` is ``False``.
+        """
+        if not key or not isinstance(key, str):
+            raise ConfigurationError(f"{self.kind} key must be a non-empty string")
+
+        def decorator(callback: Callable[..., Any]) -> Callable[..., Any]:
+            if not callable(callback):
+                raise ConfigurationError(f"{self.kind} factory for {key!r} must be callable")
+            if key in self._factories and not overwrite:
+                raise ConfigurationError(
+                    f"{self.kind} {key!r} is already registered; "
+                    f"pass overwrite=True to replace it"
+                )
+            self._factories[key] = callback
+            return callback
+
+        if factory is None:
+            return decorator
+        return decorator(factory)
+
+    def unregister(self, key: str) -> None:
+        """Remove ``key`` from the registry (missing keys are ignored)."""
+        self._factories.pop(key, None)
+
+    def get(self, key: str) -> Callable[..., Any]:
+        """The factory registered under ``key``, or a clear error naming the options."""
+        try:
+            return self._factories[key]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown {self.kind} {key!r}; registered {self.kind}s: {self.keys()}"
+            ) from None
+
+    def create(self, key: str, *args: Any, **params: Any) -> Any:
+        """Instantiate the component registered under ``key``.
+
+        A ``TypeError`` from the factory (e.g. an unknown parameter name in a
+        spec file) is re-raised as :class:`ConfigurationError` naming the
+        component, so misconfigured specs fail with actionable messages.
+        """
+        factory = self.get(key)
+        try:
+            return factory(*args, **params)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"invalid parameters for {self.kind} {key!r}: {exc}"
+            ) from exc
+
+    def keys(self) -> list[str]:
+        """Registered keys, sorted."""
+        return sorted(self._factories)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    def __len__(self) -> int:
+        return len(self._factories)

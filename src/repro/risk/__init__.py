@@ -13,6 +13,9 @@ from .metrics import (
     conditional_value_at_risk,
     expectation_risk,
     rank_by_risk,
+    register_risk_metric,
+    registered_risk_metrics,
+    resolve_risk_metric,
     value_at_risk,
 )
 from .model import FeatureExplanation, LearnRiskModel
@@ -71,7 +74,10 @@ __all__ = [
     "one_sided_gini",
     "output_bin_matrix",
     "rank_by_risk",
+    "register_risk_metric",
+    "registered_risk_metrics",
     "remove_redundant_rules",
+    "resolve_risk_metric",
     "sample_ranking_pairs",
     "truncated_normal_mean",
     "truncated_normal_quantile",

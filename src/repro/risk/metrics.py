@@ -7,15 +7,24 @@ matching.  VaR at confidence θ is the θ-quantile of that loss — "the maximum
 mislabeling probability after excluding the (1−θ) worst cases" (Eq. 8–10).
 CVaR is the expectation of the loss beyond VaR and is provided for the
 StaticRisk baseline and for ablations.
+
+The metrics are exposed through a string-keyed registry
+(:func:`register_risk_metric` / :func:`resolve_risk_metric`) so that
+:class:`~repro.risk.model.LearnRiskModel` and the composable pipeline API can
+dispatch on a configured metric name, and downstream code can plug in custom
+metrics without touching this module.
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 import numpy as np
 from scipy import stats
 
 from ..data.records import MATCH
 from ..exceptions import ConfigurationError
+from ..registry import ComponentRegistry
 from .distributions import normal_quantile, truncated_normal_quantile
 from .portfolio import PortfolioDistribution
 
@@ -103,3 +112,60 @@ def rank_by_risk(risk_scores: np.ndarray) -> np.ndarray:
     """Indices of pairs sorted by decreasing risk (ties broken by original order)."""
     risk_scores = np.asarray(risk_scores, dtype=float)
     return np.argsort(-risk_scores, kind="stable")
+
+
+# ----------------------------------------------------------- metric registry
+#: A risk metric maps (distribution, machine_labels) to per-pair risk scores;
+#: ``theta`` is the confidence level forwarded from the training config.
+RiskMetricFunction = Callable[..., np.ndarray]
+
+RISK_METRICS = ComponentRegistry("risk metric")
+
+
+def register_risk_metric(
+    name: str,
+    function: RiskMetricFunction | None = None,
+    *,
+    overwrite: bool = False,
+) -> Callable[[RiskMetricFunction], RiskMetricFunction] | RiskMetricFunction:
+    """Register a risk metric under ``name`` (usable as a decorator).
+
+    The function must accept ``(distribution, machine_labels, *, theta)`` and
+    return one risk score per pair.  Registering an existing name raises
+    :class:`ConfigurationError` unless ``overwrite=True`` (protecting the
+    built-ins from accidental shadowing).
+    """
+    return RISK_METRICS.register(name, function, overwrite=overwrite)
+
+
+def registered_risk_metrics() -> list[str]:
+    """Names of every registered risk metric, sorted."""
+    return RISK_METRICS.keys()
+
+
+def resolve_risk_metric(name: str) -> RiskMetricFunction:
+    """Look up a registered risk metric, with a clear error naming the options."""
+    return RISK_METRICS.get(name)
+
+
+def _var_metric(
+    distribution: PortfolioDistribution, machine_labels: np.ndarray, *, theta: float = 0.9
+) -> np.ndarray:
+    return value_at_risk(distribution, machine_labels, theta=theta)
+
+
+def _cvar_metric(
+    distribution: PortfolioDistribution, machine_labels: np.ndarray, *, theta: float = 0.9
+) -> np.ndarray:
+    return conditional_value_at_risk(distribution, machine_labels, theta=theta)
+
+
+def _expectation_metric(
+    distribution: PortfolioDistribution, machine_labels: np.ndarray, *, theta: float = 0.9
+) -> np.ndarray:
+    return expectation_risk(distribution, machine_labels)
+
+
+register_risk_metric("var", _var_metric)
+register_risk_metric("cvar", _cvar_metric)
+register_risk_metric("expectation", _expectation_metric)

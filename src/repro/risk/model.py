@@ -36,7 +36,7 @@ from ..serialization import (
     state_field,
 )
 from .feature_generation import GeneratedRiskFeatures
-from .metrics import conditional_value_at_risk, expectation_risk, value_at_risk
+from .metrics import resolve_risk_metric
 from .portfolio import PortfolioDistribution, aggregate_portfolio, feature_contributions
 from .training import (
     RiskModelTrainer,
@@ -70,8 +70,9 @@ class LearnRiskModel:
     n_output_bins:
         Number of classifier-output bins, each with its own learnable RSD.
     risk_metric:
-        ``"var"`` (paper default), ``"cvar"`` or ``"expectation"`` — the latter
-        two support ablation studies.
+        Name of a registered risk metric: ``"var"`` (paper default), ``"cvar"``
+        or ``"expectation"`` out of the box; custom metrics plug in through
+        :func:`repro.risk.metrics.register_risk_metric`.
     initial_weight, initial_rsd, initial_alpha, initial_beta:
         Effective initial values of the trainable parameters.
     """
@@ -87,8 +88,8 @@ class LearnRiskModel:
         initial_alpha: float = 0.2,
         initial_beta: float = 1.0,
     ) -> None:
-        if risk_metric not in {"var", "cvar", "expectation"}:
-            raise ConfigurationError("risk_metric must be 'var', 'cvar' or 'expectation'")
+        # Resolve eagerly so a typo fails at construction, not deep in scoring.
+        self._risk_metric_function = resolve_risk_metric(risk_metric)
         if n_output_bins < 1:
             raise ConfigurationError("n_output_bins must be >= 1")
         self.features = features
@@ -225,11 +226,10 @@ class LearnRiskModel:
         """
         machine_labels = np.asarray(machine_labels, dtype=int)
         distribution = self.distribution(metric_matrix, machine_probabilities)
-        if self.risk_metric == "var":
-            return value_at_risk(distribution, machine_labels, theta=self.config.theta)
-        if self.risk_metric == "cvar":
-            return conditional_value_at_risk(distribution, machine_labels, theta=self.config.theta)
-        return expectation_risk(distribution, machine_labels)
+        return np.asarray(
+            self._risk_metric_function(distribution, machine_labels, theta=self.config.theta),
+            dtype=float,
+        )
 
     def rank(
         self,

@@ -18,7 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..data.records import MATCH, UNMATCH
+from ..data.records import MATCH
 from ..exceptions import PersistenceError
 
 

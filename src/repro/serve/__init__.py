@@ -26,7 +26,13 @@ Quick start::
         print(scored.pair.pair_id, scored.risk_score)
 """
 
-from .persistence import load_pipeline, load_state, save_pipeline, save_state
+from .persistence import (
+    load_pipeline,
+    load_staged_pipeline,
+    load_state,
+    save_pipeline,
+    save_state,
+)
 from .registry import ModelRegistry
 from .service import PendingScore, RiskService, ScoredPair, ServiceStats, pair_key
 
@@ -37,6 +43,7 @@ __all__ = [
     "ScoredPair",
     "ServiceStats",
     "load_pipeline",
+    "load_staged_pipeline",
     "load_state",
     "pair_key",
     "save_pipeline",

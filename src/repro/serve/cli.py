@@ -3,10 +3,14 @@
 Three subcommands cover the model lifecycle:
 
 ``fit``
-    Fit a :class:`~repro.pipeline.LearnRiskPipeline` on a built-in workload
-    (``--dataset``) or on CSV files (``--data-dir`` + ``--name`` +
-    ``--schema``), then save it with
-    :func:`~repro.serve.persistence.save_pipeline`.
+    Fit a pipeline on a built-in workload (``--dataset``) or on CSV files
+    (``--data-dir`` + ``--name`` + ``--schema``), then save it with
+    :func:`~repro.serve.persistence.save_pipeline`.  The pipeline is either
+    configured field by field (``--classifier``, ``--risk-metric``, ...) or
+    declaratively with ``--spec spec.json`` — a
+    :meth:`repro.compose.PipelineSpec.to_json` document assembled through the
+    component registries, which is also how custom registered components are
+    reached from the command line.
 ``score``
     Load a saved pipeline, score a workload through :class:`RiskService`
     (micro-batched, cached) and print serving statistics; ``--output`` writes
@@ -34,14 +38,14 @@ from typing import Sequence
 
 import numpy as np
 
-from ..classifiers import (
-    BootstrapEnsemble,
-    DecisionTreeClassifier,
-    LogisticRegressionClassifier,
-    MLPClassifier,
-    RandomForestClassifier,
-)
 from ..classifiers.base import BaseClassifier
+from ..compose import (
+    PipelineSpec,
+    build_pipeline,
+    create_classifier,
+    registered_classifiers,
+    registered_risk_metrics,
+)
 from ..data import load_dataset, split_workload
 from ..data.io import import_workload
 from ..data.schema import Schema
@@ -54,21 +58,12 @@ from ..risk.training import TrainingConfig
 from .persistence import load_pipeline, load_state, save_pipeline
 from .service import RiskService
 
-CLASSIFIER_CHOICES = ("mlp", "logistic", "tree", "forest", "ensemble")
-
 
 def _build_classifier(kind: str, seed: int, epochs: int | None) -> BaseClassifier:
-    if kind == "mlp":
-        return MLPClassifier(seed=seed, epochs=epochs or 60)
-    if kind == "logistic":
-        return LogisticRegressionClassifier(seed=seed, epochs=epochs or 300)
-    if kind == "tree":
-        return DecisionTreeClassifier(seed=seed)
-    if kind == "forest":
-        return RandomForestClassifier(seed=seed)
-    if kind == "ensemble":
-        return BootstrapEnsemble(seed=seed)
-    raise argparse.ArgumentTypeError(f"unknown classifier {kind!r}")
+    params: dict[str, object] = {}
+    if epochs is not None and kind in ("mlp", "logistic"):
+        params["epochs"] = epochs
+    return create_classifier(kind, params, seed=seed)
 
 
 def _load_schema(path: str) -> Schema:
@@ -103,15 +98,23 @@ def _parse_ratio(text: str) -> tuple[float, float, float]:
 
 # --------------------------------------------------------------------- commands
 def _cmd_fit(args: argparse.Namespace) -> int:
-    workload = _load_workload(args)
-    split = split_workload(workload, ratio=args.ratio, seed=args.seed)
-    pipeline = LearnRiskPipeline(
-        classifier=_build_classifier(args.classifier, args.seed, args.epochs),
-        tree_config=OneSidedTreeConfig(max_depth=args.rule_depth),
-        training_config=TrainingConfig(epochs=args.risk_epochs, seed=args.seed),
-        risk_metric=args.risk_metric,
-        seed=args.seed,
-    )
+    if args.spec:
+        # Parse and validate the spec before the (slow) workload load so a
+        # typo in a config file fails immediately.
+        spec = PipelineSpec.from_json(Path(args.spec).read_text())
+        pipeline = build_pipeline(spec)
+        workload = _load_workload(args)
+        split = split_workload(workload, ratio=args.ratio, seed=spec.seed)
+    else:
+        workload = _load_workload(args)
+        split = split_workload(workload, ratio=args.ratio, seed=args.seed)
+        pipeline = LearnRiskPipeline(
+            classifier=_build_classifier(args.classifier, args.seed, args.epochs),
+            tree_config=OneSidedTreeConfig(max_depth=args.rule_depth),
+            training_config=TrainingConfig(epochs=args.risk_epochs, seed=args.seed),
+            risk_metric=args.risk_metric,
+            seed=args.seed,
+        )
     print(
         f"fitting on {len(split.train)} training / {len(split.validation)} validation pairs "
         f"({workload.name})..."
@@ -183,7 +186,11 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     print(f"  metrics: {pipeline.vectorizer.n_features}")
     print(f"  classifier: {type(pipeline.classifier).__name__}")
     print(f"  risk rules: {len(pipeline.risk_features.rules)}  "
-          f"risk metric: {pipeline.risk_metric}")
+          f"risk metric: {pipeline.risk_metric}  "
+          f"decision threshold: {pipeline.decision_threshold}")
+    print(f"  spec: classifier={pipeline.spec.classifier.kind!r} "
+          f"vectorizer={pipeline.spec.vectorizer.kind!r} "
+          f"risk_features={pipeline.spec.risk_features.kind!r}")
     for description in pipeline.risk_features.describe(limit=args.rules):
         print(f"    {description}")
     return 0
@@ -211,14 +218,17 @@ def build_parser() -> argparse.ArgumentParser:
     fit = subparsers.add_parser("fit", help="fit a pipeline and save it")
     add_workload_arguments(fit, with_schema=True)
     fit.add_argument("--output", required=True, help="model directory to write")
-    fit.add_argument("--classifier", choices=CLASSIFIER_CHOICES, default="mlp")
+    fit.add_argument("--spec",
+                     help="pipeline spec JSON file (PipelineSpec.to_json format); "
+                          "overrides the per-field options below")
+    fit.add_argument("--classifier", choices=registered_classifiers(), default="mlp")
     fit.add_argument("--epochs", type=int, default=None,
                      help="classifier training epochs (classifier-specific default)")
     fit.add_argument("--risk-epochs", type=int, default=200,
                      help="risk-model training epochs (default 200)")
     fit.add_argument("--rule-depth", type=int, default=3,
                      help="max conditions per generated rule (default 3)")
-    fit.add_argument("--risk-metric", choices=("var", "cvar", "expectation"), default="var")
+    fit.add_argument("--risk-metric", choices=registered_risk_metrics(), default="var")
     fit.add_argument("--ratio", type=_parse_ratio, default=(3.0, 2.0, 5.0),
                      help="train,validation,test split ratio (default 3,2,5)")
     fit.add_argument("--seed", type=int, default=0)

@@ -28,6 +28,7 @@ from typing import Any
 
 import numpy as np
 
+from ..compose.staged import StagedPipeline
 from ..exceptions import PersistenceError
 from ..pipeline import LearnRiskPipeline
 from ..serialization import pack_arrays, unpack_arrays
@@ -37,6 +38,7 @@ FORMAT_VERSION = 1
 MANIFEST_FILE = "manifest.json"
 STATE_FILE = "state.json"
 ARRAYS_FILE = "arrays.npz"
+SPEC_FILE = "spec.json"
 
 
 def _library_version() -> str:
@@ -114,13 +116,29 @@ def _read_json(path: Path) -> Any:
 
 
 # ------------------------------------------------------------------- pipelines
-def save_pipeline(pipeline: LearnRiskPipeline, directory: str | Path) -> Path:
-    """Save a fitted :class:`LearnRiskPipeline` to ``directory``.
+def save_pipeline(pipeline: StagedPipeline, directory: str | Path) -> Path:
+    """Save a fitted pipeline (legacy facade or staged) to ``directory``.
 
     The pipeline must be fitted; unfitted pipelines have nothing worth saving
-    and :meth:`LearnRiskPipeline.to_state` raises ``NotFittedError``.
+    and ``to_state`` raises ``NotFittedError``.  Next to the binary state the
+    pipeline's :class:`~repro.compose.spec.PipelineSpec` is written as a
+    human-readable ``spec.json``, so a model directory documents — and can
+    re-create, via ``python -m repro.serve fit --spec`` — its own
+    configuration.
     """
-    return save_state(pipeline.to_state(), directory)
+    directory = save_state(pipeline.to_state(), directory)
+    (directory / SPEC_FILE).write_text(pipeline.spec.to_json() + "\n")
+    return directory
+
+
+def _checked_pipeline_state(directory: str | Path) -> dict:
+    state = load_state(directory)
+    if state.get("kind") != StagedPipeline.STATE_KIND:
+        raise PersistenceError(
+            f"model in {directory} has kind {state.get('kind')!r}, "
+            f"expected {StagedPipeline.STATE_KIND!r}"
+        )
+    return state
 
 
 def load_pipeline(directory: str | Path) -> LearnRiskPipeline:
@@ -129,10 +147,14 @@ def load_pipeline(directory: str | Path) -> LearnRiskPipeline:
     The reloaded pipeline reproduces the saved pipeline's ``predict_proba``
     outputs and risk scores exactly.
     """
-    state = load_state(directory)
-    if state.get("kind") != LearnRiskPipeline.STATE_KIND:
-        raise PersistenceError(
-            f"model in {directory} has kind {state.get('kind')!r}, "
-            f"expected {LearnRiskPipeline.STATE_KIND!r}"
-        )
-    return LearnRiskPipeline.from_state(state)
+    return LearnRiskPipeline.from_state(_checked_pipeline_state(directory))
+
+
+def load_staged_pipeline(directory: str | Path) -> StagedPipeline:
+    """Load a pipeline written by :func:`save_pipeline` as a bare staged core.
+
+    Identical state, different construction surface: use this when the caller
+    works with :class:`~repro.compose.staged.StagedPipeline` directly (e.g. to
+    ``refit_risk_model`` on fresh validation data).
+    """
+    return StagedPipeline.from_state(_checked_pipeline_state(directory))

@@ -24,7 +24,7 @@ from pathlib import Path
 from typing import Any
 
 from ..exceptions import ConfigurationError
-from ..pipeline import LearnRiskPipeline
+from ..compose.staged import StagedPipeline
 from .persistence import load_pipeline
 from .service import RiskService
 
@@ -42,7 +42,7 @@ class ModelRegistry:
     def __init__(self, **service_options: Any) -> None:
         self._service_options = dict(service_options)
         self._lock = threading.RLock()
-        self._models: dict[str, dict[int, LearnRiskPipeline]] = {}
+        self._models: dict[str, dict[int, StagedPipeline]] = {}
         self._active: dict[str, int] = {}
         self._services: dict[tuple[str, int], RiskService] = {}
 
@@ -50,7 +50,7 @@ class ModelRegistry:
     def register(
         self,
         name: str,
-        pipeline: LearnRiskPipeline,
+        pipeline: StagedPipeline,
         version: int | None = None,
         activate: bool = True,
     ) -> int:
@@ -116,7 +116,7 @@ class ModelRegistry:
                 self._active[name] = max(versions)
 
     # ----------------------------------------------------------------- lookup
-    def _require_name(self, name: str) -> dict[int, LearnRiskPipeline]:
+    def _require_name(self, name: str) -> dict[int, StagedPipeline]:
         versions = self._models.get(name)
         if not versions:
             raise ConfigurationError(
@@ -124,7 +124,7 @@ class ModelRegistry:
             )
         return versions
 
-    def _resolve(self, name: str, version: int | None) -> tuple[int, LearnRiskPipeline]:
+    def _resolve(self, name: str, version: int | None) -> tuple[int, StagedPipeline]:
         versions = self._require_name(name)
         if version is None:
             version = self._active[name]
@@ -132,7 +132,7 @@ class ModelRegistry:
             raise ConfigurationError(f"model {name!r} has no version {version}")
         return int(version), versions[version]
 
-    def get(self, name: str, version: int | None = None) -> LearnRiskPipeline:
+    def get(self, name: str, version: int | None = None) -> StagedPipeline:
         """Return the pipeline for ``name`` (the active version by default)."""
         with self._lock:
             return self._resolve(name, version)[1]

@@ -35,10 +35,10 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..compose.staged import StagedPipeline
 from ..data.records import RecordPair
 from ..data.workload import Workload
 from ..exceptions import ConfigurationError, NotFittedError
-from ..pipeline import LearnRiskPipeline
 
 #: Identity of a record pair: source + id of both sides.
 PairKey = tuple[str, str, str, str]
@@ -146,8 +146,9 @@ class RiskService:
     Parameters
     ----------
     pipeline:
-        A fitted pipeline (freshly fitted or loaded with
-        :func:`repro.serve.persistence.load_pipeline`).
+        A fitted pipeline — a :class:`~repro.pipeline.LearnRiskPipeline` or
+        any :class:`~repro.compose.staged.StagedPipeline` (freshly fitted or
+        loaded with :func:`repro.serve.persistence.load_pipeline`).
     max_batch_size:
         Buffered :meth:`submit` calls auto-flush at this batch size.
     cache_size:
@@ -157,7 +158,7 @@ class RiskService:
 
     def __init__(
         self,
-        pipeline: LearnRiskPipeline,
+        pipeline: StagedPipeline,
         *,
         max_batch_size: int = 256,
         cache_size: int = 4096,
@@ -226,8 +227,9 @@ class RiskService:
         """Score ``pairs`` as one batch (caller holds the lock)."""
         start = time.perf_counter()
         matrix = self._vectorize(pairs)
-        probabilities = self.pipeline.classifier.predict_proba(matrix)
-        machine_labels = (probabilities >= 0.5).astype(int)
+        # The pipeline owns the decision threshold (a spec field); going
+        # through classify_matrix keeps serving and analyse() in agreement.
+        probabilities, machine_labels = self.pipeline.classify_matrix(matrix)
         risk_scores = self.pipeline.risk_model.score(matrix, probabilities, machine_labels)
         elapsed = time.perf_counter() - start
         self.stats.record_batch(len(pairs), elapsed)

@@ -14,7 +14,7 @@ numeric absolute/relative similarity.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -240,7 +240,10 @@ def cosine_tfidf_similarity(
         return 1.0
     if not left_counts or not right_counts:
         return 0.0
-    vocabulary = set(left_counts) | set(right_counts)
+    # Sorted vocabulary: set order varies with the per-process hash seed, and
+    # float summation is order-sensitive, so an unsorted walk makes scores
+    # differ across processes by 1 ulp — breaking bit-exact persistence.
+    vocabulary = sorted(set(left_counts) | set(right_counts))
     left_vector = np.array(
         [left_counts.get(token, 0) * (idf.get(token, 1.0) if idf else 1.0) for token in vocabulary]
     , dtype=float)
@@ -250,7 +253,8 @@ def cosine_tfidf_similarity(
     denominator = np.linalg.norm(left_vector) * np.linalg.norm(right_vector)
     if denominator == 0.0:
         return 0.0
-    return float(np.dot(left_vector, right_vector) / denominator)
+    # Identical vectors can still land at 1.0 + 1 ulp; clamp to the contract.
+    return float(min(1.0, np.dot(left_vector, right_vector) / denominator))
 
 
 def entity_jaccard_similarity(
@@ -297,18 +301,24 @@ def numeric_equality(left: float | str | None, right: float | str | None) -> flo
 
 
 def _to_float(value: float | str | None) -> float | None:
-    """Best-effort conversion of a raw attribute value to ``float``."""
+    """Best-effort conversion of a raw attribute value to a *finite* ``float``.
+
+    Strings like ``"nan"`` / ``"inf"`` parse as floats but would poison every
+    downstream ratio with non-finite values, so they count as missing.
+    """
     if value is None:
         return None
     if isinstance(value, (int, float)):
-        return float(value)
+        result = float(value)
+        return result if np.isfinite(result) else None
     text = str(value).strip()
     if not text:
         return None
     try:
-        return float(text)
+        result = float(text)
     except ValueError:
         return None
+    return result if np.isfinite(result) else None
 
 
 #: Registry of the similarity functions applicable to generic string values,

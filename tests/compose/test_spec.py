@@ -1,0 +1,91 @@
+"""Unit tests for PipelineSpec and its JSON serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compose import ComponentSpec, PipelineSpec, build_pipeline
+from repro.exceptions import ConfigurationError
+from repro.pipeline import LearnRiskPipeline
+from repro.risk.training import TrainingConfig
+
+
+class TestComponentSpec:
+    def test_coerce_from_string(self):
+        spec = ComponentSpec.coerce("logistic", "classifier")
+        assert spec.kind == "logistic" and spec.params == {}
+
+    def test_coerce_from_mapping(self):
+        spec = ComponentSpec.coerce({"kind": "mlp", "params": {"epochs": 5}}, "classifier")
+        assert spec.kind == "mlp" and spec.params == {"epochs": 5}
+
+    def test_coerce_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="unknown keys"):
+            ComponentSpec.coerce({"kind": "mlp", "epochs": 5}, "classifier")
+
+    def test_coerce_requires_kind(self):
+        with pytest.raises(ConfigurationError, match="missing 'kind'"):
+            ComponentSpec.coerce({"params": {}}, "classifier")
+
+
+class TestPipelineSpec:
+    def test_json_roundtrip(self):
+        spec = PipelineSpec(
+            classifier=ComponentSpec("logistic", {"epochs": 50}),
+            risk_features=ComponentSpec("onesided_tree", {"tree": {"max_depth": 2}}),
+            risk_metric="cvar",
+            training={"epochs": 25, "theta": 0.85},
+            decision_threshold=0.6,
+            seed=3,
+        )
+        restored = PipelineSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.to_dict() == spec.to_dict()
+
+    def test_defaults_validate(self):
+        assert PipelineSpec().validate() is not None
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown pipeline spec keys"):
+            PipelineSpec.from_dict({"classifer": {"kind": "mlp"}})
+
+    def test_unknown_training_parameter_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown training parameters"):
+            PipelineSpec(training={"epoch": 10})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            PipelineSpec.from_json("{not json")
+
+    def test_threshold_bounds(self):
+        with pytest.raises(ConfigurationError):
+            PipelineSpec(decision_threshold=1.5)
+
+    def test_training_config_uses_spec_seed(self):
+        spec = PipelineSpec(training={"epochs": 10}, seed=9)
+        config = spec.training_config()
+        assert config == TrainingConfig(epochs=10, seed=9)
+        # An explicit training seed wins over the spec seed.
+        pinned = PipelineSpec(training={"seed": 2}, seed=9).training_config()
+        assert pinned.seed == 2
+
+    def test_validate_unknown_component(self):
+        spec = PipelineSpec(classifier=ComponentSpec("no-such-classifier"))
+        with pytest.raises(ConfigurationError, match="no-such-classifier"):
+            spec.validate()
+
+    def test_build_pipeline_rejects_unknown_risk_metric(self):
+        with pytest.raises(ConfigurationError, match="registered risk metrics"):
+            build_pipeline(PipelineSpec(risk_metric="vra"))
+
+
+class TestEagerRiskMetricValidation:
+    def test_pipeline_init_rejects_unknown_metric_as_value_error(self):
+        """The satellite requirement: a typo like "vra" fails in __init__ with a
+        ValueError naming the allowed values, not deep inside risk training."""
+        with pytest.raises(ValueError, match="var"):
+            LearnRiskPipeline(risk_metric="vra")
+
+    def test_pipeline_init_accepts_registered_metrics(self):
+        for metric in ("var", "cvar", "expectation"):
+            assert LearnRiskPipeline(risk_metric=metric).risk_metric == metric

@@ -1,0 +1,156 @@
+"""End-to-end spec round-trips: PipelineSpec → JSON → build_pipeline → fit →
+save/load via repro.serve reproduces identical risk scores for every
+registered classifier kind."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compose import PipelineSpec, build_pipeline, registered_classifiers
+from repro.data import split_workload
+from repro.serve import load_pipeline, load_staged_pipeline, save_pipeline
+
+#: Small, fast parameters per built-in classifier kind.
+CLASSIFIER_PARAMS = {
+    "mlp": {"hidden_sizes": [8], "epochs": 8},
+    "logistic": {"epochs": 40},
+    "tree": {"max_depth": 3},
+    "forest": {"n_trees": 5, "max_depth": 3},
+    "ensemble": {"n_models": 2},
+}
+
+RISK_FEATURES = {
+    "kind": "onesided_tree",
+    "params": {"tree": {"max_depth": 2, "min_support": 4, "max_thresholds": 16}},
+}
+
+
+@pytest.fixture(scope="module")
+def ds_split(ds_workload):
+    return split_workload(ds_workload, ratio=(3, 2, 5), seed=0)
+
+
+def test_every_builtin_classifier_kind_is_exercised():
+    assert set(CLASSIFIER_PARAMS) == set(registered_classifiers())
+
+
+@pytest.mark.parametrize("kind", sorted(CLASSIFIER_PARAMS))
+def test_spec_roundtrip_reproduces_scores(kind, ds_split, tmp_path):
+    spec = PipelineSpec.from_dict({
+        "classifier": {"kind": kind, "params": CLASSIFIER_PARAMS[kind]},
+        "risk_features": RISK_FEATURES,
+        "training": {"epochs": 20},
+        "seed": 0,
+    })
+
+    # Spec → JSON → spec survives exactly.
+    restored_spec = PipelineSpec.from_json(spec.to_json())
+    assert restored_spec == spec
+
+    pipeline = build_pipeline(restored_spec)
+    pipeline.fit(ds_split.train, ds_split.validation)
+    expected = pipeline.analyse(ds_split.test)
+
+    # Fit → save → load via repro.serve reproduces the scores bit for bit.
+    directory = save_pipeline(pipeline, tmp_path / f"model-{kind}")
+    assert (directory / "spec.json").exists()
+    loaded = load_pipeline(directory)
+    assert loaded.spec == spec
+    report = loaded.analyse(ds_split.test)
+    np.testing.assert_array_equal(
+        report.machine_probabilities, expected.machine_probabilities
+    )
+    np.testing.assert_array_equal(report.risk_scores, expected.risk_scores)
+    np.testing.assert_array_equal(report.ranking, expected.ranking)
+
+
+def test_loaded_staged_pipeline_supports_refit(ds_split, tmp_path):
+    spec = PipelineSpec.from_dict({
+        "classifier": {"kind": "logistic", "params": {"epochs": 40}},
+        "risk_features": RISK_FEATURES,
+        "training": {"epochs": 20},
+    })
+    pipeline = build_pipeline(spec).fit(ds_split.train, ds_split.validation)
+    directory = save_pipeline(pipeline, tmp_path / "model")
+
+    loaded = load_staged_pipeline(directory)
+    classifier = loaded.classifier
+    loaded.refit_risk_model(ds_split.test)
+    assert loaded.classifier is classifier
+    assert loaded.risk_model.training_result is not None
+    assert np.all(np.isfinite(loaded.analyse(ds_split.validation).risk_scores))
+
+
+def test_facade_spec_sidecar_is_buildable(ds_split, tmp_path):
+    """A model fitted through the legacy facade writes a spec.json whose
+    classifier kind/params are registry-valid and faithful to the instance."""
+    from repro.classifiers import LogisticRegressionClassifier
+    from repro.pipeline import LearnRiskPipeline
+    from repro.risk.onesided_tree import OneSidedTreeConfig
+    from repro.risk.training import TrainingConfig
+
+    pipeline = LearnRiskPipeline(
+        classifier=LogisticRegressionClassifier(epochs=40, seed=0),
+        tree_config=OneSidedTreeConfig(max_depth=2, min_support=4, max_thresholds=16),
+        training_config=TrainingConfig(epochs=20),
+        seed=0,
+    )
+    pipeline.fit(ds_split.train, ds_split.validation)
+    directory = save_pipeline(pipeline, tmp_path / "model")
+
+    sidecar = PipelineSpec.from_json((directory / "spec.json").read_text())
+    assert sidecar.classifier.kind == "logistic"
+    assert sidecar.classifier.params["epochs"] == 40
+
+    # The documented re-create path: build and fit straight from the sidecar.
+    recreated = build_pipeline(sidecar).fit(ds_split.train, ds_split.validation)
+    np.testing.assert_array_equal(
+        recreated.analyse(ds_split.test).risk_scores,
+        pipeline.analyse(ds_split.test).risk_scores,
+    )
+
+
+def test_custom_vectorizer_model_loads_without_registration(ds_split, tmp_path):
+    """The fitted vectoriser is restored from state, so loading must not
+    require the custom vectoriser factory to be re-registered."""
+    from repro.compose import StagedPipeline, register_vectorizer
+    from repro.compose.registries import VECTORIZERS
+    from repro.features.vectorizer import PairVectorizer
+
+    register_vectorizer("test-custom-vec", lambda schema: PairVectorizer(schema))
+    try:
+        pipeline = build_pipeline(PipelineSpec.from_dict({
+            "classifier": {"kind": "logistic", "params": {"epochs": 40}},
+            "vectorizer": {"kind": "test-custom-vec"},
+            "risk_features": RISK_FEATURES,
+            "training": {"epochs": 20},
+        })).fit(ds_split.train, ds_split.validation)
+        expected = pipeline.analyse(ds_split.test).risk_scores
+        state = pipeline.to_state()
+    finally:
+        VECTORIZERS.unregister("test-custom-vec")
+
+    # Simulates a fresh process that never registered "test-custom-vec".
+    loaded = StagedPipeline.from_state(state)
+    np.testing.assert_array_equal(loaded.analyse(ds_split.test).risk_scores, expected)
+
+
+def test_legacy_state_without_spec_still_loads(ds_split, tmp_path):
+    """States saved before the compose redesign carry no 'spec' field."""
+    pipeline = build_pipeline(PipelineSpec.from_dict({
+        "classifier": {"kind": "logistic", "params": {"epochs": 40}},
+        "risk_features": RISK_FEATURES,
+        "training": {"epochs": 20},
+    })).fit(ds_split.train, ds_split.validation)
+    expected = pipeline.analyse(ds_split.test)
+
+    state = pipeline.to_state()
+    del state["spec"]
+    from repro.pipeline import LearnRiskPipeline
+
+    legacy = LearnRiskPipeline.from_state(state)
+    assert legacy.risk_metric == "var"
+    np.testing.assert_array_equal(
+        legacy.analyse(ds_split.test).risk_scores, expected.risk_scores
+    )

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.data.schema import Attribute, AttributeType, Schema
+from repro.data.schema import Attribute, AttributeType
 from repro.features.metric_registry import (
     DIFFERENCE,
     SIMILARITY,

@@ -5,12 +5,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.data.records import MATCH, UNMATCH
+from repro.data.records import MATCH
 from repro.evaluation.roc import auroc_score
 from repro.exceptions import ConfigurationError
 from repro.risk.feature_generation import RiskFeatureGenerator
 from repro.risk.model import LearnRiskModel
-from repro.risk.onesided_tree import OneSidedTreeConfig
 from repro.risk.training import TrainingConfig
 
 

@@ -124,7 +124,7 @@ class TestPipelineRoundTrip:
 
         directory = save_pipeline(pipeline, tmp_path / "model")
         assert {p.name for p in directory.iterdir()} == {
-            "manifest.json", "state.json", "arrays.npz"
+            "manifest.json", "state.json", "arrays.npz", "spec.json"
         }
         restored = load_pipeline(directory)
 

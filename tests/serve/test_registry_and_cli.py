@@ -205,7 +205,7 @@ class TestCli:
 
     def test_fit_writes_model_files(self, fitted_model_dir):
         assert {p.name for p in fitted_model_dir.iterdir()} == {
-            "manifest.json", "state.json", "arrays.npz"
+            "manifest.json", "state.json", "arrays.npz", "spec.json"
         }
 
     def test_score_csv_workload(self, fitted_model_dir, csv_workload_dir, tmp_path, capsys):
