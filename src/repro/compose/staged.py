@@ -320,6 +320,9 @@ class StagedPipeline:
         self._check_fitted()
         if batch_size < 1:
             raise ConfigurationError("batch_size must be >= 1")
+        # Compile the rule-coverage kernel once before streaming so every
+        # chunk reuses it instead of the first chunk paying the build cost.
+        self.risk_model.features.kernel
         pairs = workload.pairs
         for start in range(0, len(pairs), batch_size):
             yield self._report(pairs[start:start + batch_size], explain_top=explain_top)

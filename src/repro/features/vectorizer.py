@@ -93,11 +93,33 @@ class PairVectorizer:
         return vector
 
     def transform(self, pairs: Iterable[RecordPair]) -> np.ndarray:
-        """Return the ``(n_pairs, n_metrics)`` matrix for ``pairs``."""
-        rows = [self.transform_pair(pair) for pair in pairs]
-        if not rows:
-            return np.zeros((0, len(self.metrics)), dtype=float)
-        return np.vstack(rows)
+        """Return the ``(n_pairs, n_metrics)`` matrix for ``pairs``.
+
+        Batched column-major path: the output matrix is filled one metric
+        column at a time, so per-metric setup (the context dict, and the
+        attribute-value extraction shared by all metrics of one attribute)
+        happens once per column instead of once per pair × metric, and no
+        per-pair row arrays are allocated and re-stacked.
+        """
+        if self._idf_by_attribute is None:
+            raise NotFittedError("PairVectorizer.transform called before fit")
+        pairs = list(pairs)
+        matrix = np.empty((len(pairs), len(self.metrics)), dtype=float)
+        if not pairs:
+            return matrix
+        values_by_attribute: dict[str, list[tuple[object, object]]] = {}
+        for column, spec in enumerate(self.metrics):
+            pair_values = values_by_attribute.get(spec.attribute)
+            if pair_values is None:
+                pair_values = [pair.values(spec.attribute) for pair in pairs]
+                values_by_attribute[spec.attribute] = pair_values
+            context = self._context_for(spec)
+            function = spec.function
+            matrix[:, column] = [
+                function(left_value, right_value, context)
+                for left_value, right_value in pair_values
+            ]
+        return matrix
 
     def fit_transform(self, workload: Workload) -> np.ndarray:
         """Fit on the workload's tables and transform its pairs in one call."""

@@ -28,6 +28,7 @@ from ..data.workload import Workload
 from ..exceptions import DataError, PersistenceError
 from ..features.vectorizer import PairVectorizer
 from ..serialization import component_state, require_state, state_field
+from .engine import PackedMembership, RuleKernel, legacy_rule_matrix
 from .onesided_tree import OneSidedTreeBuilder, OneSidedTreeConfig
 from .rules import RiskRule, deduplicate_rules, estimate_expectations, remove_redundant_rules
 
@@ -51,17 +52,62 @@ class GeneratedRiskFeatures:
     vectorizer: PairVectorizer
     generation_seconds: float = 0.0
     statistics: dict[str, float] = field(default_factory=dict)
+    _kernel: RuleKernel | None = field(default=None, init=False, repr=False, compare=False)
+    # The exact list object the kernel was compiled from (holding the
+    # reference keeps the identity check sound: a freed list's id could be
+    # reused by a new list, a plain id() key would then serve a stale kernel).
+    _kernel_rules: list | None = field(default=None, init=False, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.rules)
 
+    @property
+    def kernel(self) -> RuleKernel:
+        """The compiled rule-coverage kernel, built lazily and reused across calls.
+
+        The kernel is invalidated when ``rules`` is rebound or changes length
+        (the two mutations the codebase performs); call
+        :meth:`invalidate_kernel` after replacing rule objects in place.
+        """
+        if (
+            self._kernel is None
+            or self._kernel_rules is not self.rules
+            or self._kernel.n_rules != len(self.rules)
+        ):
+            self._kernel = RuleKernel(self.rules)
+            self._kernel_rules = self.rules
+        return self._kernel
+
+    def invalidate_kernel(self) -> None:
+        """Force the next :attr:`kernel` access to recompile the rule set."""
+        self._kernel = None
+        self._kernel_rules = None
+
     def rule_matrix(self, metric_matrix: np.ndarray) -> np.ndarray:
-        """Binary (n_pairs, n_rules) membership matrix over a metric matrix."""
-        metric_matrix = np.asarray(metric_matrix, dtype=float)
-        if not self.rules:
-            return np.zeros((len(metric_matrix), 0), dtype=float)
-        columns = [rule.coverage(metric_matrix).astype(float) for rule in self.rules]
-        return np.column_stack(columns)
+        """Binary (n_pairs, n_rules) membership matrix over a metric matrix.
+
+        Delegates to the compiled :attr:`kernel`; bit-identical to (and much
+        faster than) the legacy per-rule loop, which survives as
+        :meth:`rule_matrix_legacy` for parity tests and benchmarks.
+        """
+        return self.kernel.membership(metric_matrix, dtype=float)
+
+    def rule_matrix_legacy(self, metric_matrix: np.ndarray) -> np.ndarray:
+        """The pre-kernel per-rule Python loop (parity/benchmark reference)."""
+        return legacy_rule_matrix(self.rules, metric_matrix)
+
+    def membership(
+        self, metric_matrix: np.ndarray, packed: bool = False
+    ) -> np.ndarray | PackedMembership:
+        """Rule membership, optionally bit-packed for memory-bound workloads.
+
+        ``packed=True`` returns a :class:`~repro.risk.engine.PackedMembership`
+        (uint8, 8 rules per byte) that
+        :func:`~repro.risk.portfolio.aggregate_portfolio` accepts directly.
+        """
+        if packed:
+            return self.kernel.membership_packed(metric_matrix)
+        return self.kernel.membership(metric_matrix, dtype=float)
 
     def describe(self, limit: int | None = None) -> list[str]:
         """Human-readable rule descriptions (optionally only the first ``limit``)."""

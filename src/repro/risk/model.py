@@ -173,7 +173,9 @@ class LearnRiskModel:
         if not (len(metric_matrix) == len(machine_probabilities) == len(machine_labels) == len(ground_truth)):
             raise ConfigurationError("all fit inputs must have one entry per pair")
 
-        membership = self.features.rule_matrix(metric_matrix)
+        # Membership comes from the features' compiled RuleKernel (built once,
+        # reused by every later score/distribution call on this model).
+        membership = self.features.membership(metric_matrix)
         risk_labels = (machine_labels != ground_truth).astype(int)
         trainer = RiskModelTrainer(self.config)
         self.training_result = trainer.train(
@@ -196,7 +198,7 @@ class LearnRiskModel:
         """Aggregate the equivalence-probability distribution of each pair."""
         metric_matrix = np.asarray(metric_matrix, dtype=float)
         machine_probabilities = np.asarray(machine_probabilities, dtype=float)
-        membership = self.features.rule_matrix(metric_matrix)
+        membership = self.features.membership(metric_matrix)
         rule_means = self.rule_expectations
         rule_stds = self.rule_rsds * rule_means if len(rule_means) else np.array([])
         output_bins = output_bin_matrix(machine_probabilities, self.n_output_bins)

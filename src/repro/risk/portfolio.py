@@ -22,8 +22,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from .engine import PackedMembership
 
 _MINIMUM_TOTAL_WEIGHT = 1e-12
+#: Rows unpacked at a time when aggregating a PackedMembership: bounds the
+#: transient dense matrix to chunk_rows x n_rules floats.
+_PACKED_CHUNK_ROWS = 4096
 
 
 @dataclass(frozen=True)
@@ -42,7 +46,7 @@ class PortfolioDistribution:
 
 
 def aggregate_portfolio(
-    membership: np.ndarray,
+    membership: np.ndarray | PackedMembership,
     rule_weights: np.ndarray,
     rule_means: np.ndarray,
     rule_stds: np.ndarray,
@@ -56,24 +60,45 @@ def aggregate_portfolio(
     ----------
     membership:
         Binary ``(n_pairs, n_rules)`` matrix: ``membership[i, j] = 1`` when
-        pair ``i`` has rule feature ``j``.
+        pair ``i`` has rule feature ``j``.  A bit-packed
+        :class:`~repro.risk.engine.PackedMembership` (as produced by
+        :meth:`RuleKernel.membership_packed`) is accepted directly and is
+        aggregated chunk-wise, so the transient dense form never exceeds
+        ``_PACKED_CHUNK_ROWS`` rows and the packed memory saving survives
+        aggregation.
     rule_weights, rule_means, rule_stds:
         Per-rule weight, expectation and standard deviation (length ``n_rules``).
     output_weights, output_means, output_stds:
         Per-pair weight, expectation and standard deviation of the
         classifier-output feature; omit all three to aggregate rules only.
     """
-    membership = np.asarray(membership, dtype=float)
     rule_weights = np.asarray(rule_weights, dtype=float)
     rule_means = np.asarray(rule_means, dtype=float)
     rule_stds = np.asarray(rule_stds, dtype=float)
-    n_pairs, n_rules = membership.shape
+    if isinstance(membership, PackedMembership):
+        n_pairs, n_rules = membership.shape
+    else:
+        membership = np.asarray(membership, dtype=float)
+        n_pairs, n_rules = membership.shape
     if not (len(rule_weights) == len(rule_means) == len(rule_stds) == n_rules):
         raise ConfigurationError("rule weight/mean/std lengths must match the membership matrix")
 
-    total_weight = membership @ rule_weights
-    weighted_mean = membership @ (rule_weights * rule_means)
-    weighted_variance = membership @ (rule_weights ** 2 * rule_stds ** 2)
+    mean_weights = rule_weights * rule_means
+    variance_weights = rule_weights ** 2 * rule_stds ** 2
+    if isinstance(membership, PackedMembership):
+        total_weight = np.empty(n_pairs)
+        weighted_mean = np.empty(n_pairs)
+        weighted_variance = np.empty(n_pairs)
+        for start in range(0, n_pairs, _PACKED_CHUNK_ROWS):
+            stop = min(start + _PACKED_CHUNK_ROWS, n_pairs)
+            chunk = PackedMembership(membership.bits[start:stop], n_rules).unpack(float)
+            total_weight[start:stop] = chunk @ rule_weights
+            weighted_mean[start:stop] = chunk @ mean_weights
+            weighted_variance[start:stop] = chunk @ variance_weights
+    else:
+        total_weight = membership @ rule_weights
+        weighted_mean = membership @ mean_weights
+        weighted_variance = membership @ variance_weights
 
     has_output = output_weights is not None
     if has_output:

@@ -22,6 +22,19 @@ from ..data.records import MATCH
 from ..exceptions import PersistenceError
 
 
+def as_float_matrix(metric_matrix: np.ndarray) -> np.ndarray:
+    """Convert to a float64 array, skipping the no-op path entirely.
+
+    Callers that evaluate many rules over one matrix (``rule_matrix``,
+    :func:`estimate_expectations`, :func:`remove_redundant_rules`) convert
+    once at their boundary and hand the converted matrix to every rule, so
+    no per-rule conversion — or copy, for non-float inputs — ever happens.
+    """
+    if isinstance(metric_matrix, np.ndarray) and metric_matrix.dtype == np.float64:
+        return metric_matrix
+    return np.asarray(metric_matrix, dtype=float)
+
+
 @dataclass(frozen=True)
 class Condition:
     """A single threshold condition over one basic metric.
@@ -113,8 +126,13 @@ class RiskRule:
         )
 
     def coverage(self, metric_matrix: np.ndarray) -> np.ndarray:
-        """Boolean mask of the pairs (rows) covered by the rule."""
-        metric_matrix = np.asarray(metric_matrix, dtype=float)
+        """Boolean mask of the pairs (rows) covered by the rule.
+
+        The conversion below is a no-op for an already-converted float64
+        matrix, so batch callers converting once up front (via
+        :func:`as_float_matrix`) pay nothing per rule.
+        """
+        metric_matrix = as_float_matrix(metric_matrix)
         mask = np.ones(len(metric_matrix), dtype=bool)
         for condition in self.conditions:
             mask &= condition.coverage(metric_matrix)
@@ -187,7 +205,7 @@ def estimate_expectations(
     back to a label-consistent prior (0.95 for matching rules, 0.05 for
     unmatching rules).
     """
-    metric_matrix = np.asarray(metric_matrix, dtype=float)
+    metric_matrix = as_float_matrix(metric_matrix)
     labels = np.asarray(labels, dtype=int)
     estimated = []
     for rule in rules:
@@ -222,7 +240,7 @@ def remove_redundant_rules(
     same information; the one with fewer conditions (more interpretable) wins.
     Rules covering fewer than ``min_coverage`` pairs are dropped outright.
     """
-    metric_matrix = np.asarray(metric_matrix, dtype=float)
+    metric_matrix = as_float_matrix(metric_matrix)
     kept: list[RiskRule] = []
     seen_masks: dict[tuple, RiskRule] = {}
     ordered = sorted(rules, key=lambda rule: (len(rule.conditions), -rule.support))

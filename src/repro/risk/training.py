@@ -195,15 +195,25 @@ def _rank_auroc(labels: np.ndarray, scores: np.ndarray) -> float:
     negatives = len(labels) - positives
     if positives == 0 or negatives == 0:
         return float("nan")
+    # Average ranks over ties in one sorted reduceat pass: tie groups are
+    # contiguous runs in the sorted order, their ordinal ranks are consecutive
+    # integers (exactly representable in float64), so the segmented sum /
+    # count reproduces the per-group mean bit-for-bit without the legacy
+    # O(unique * n) per-value mask loop.
+    n_scores = len(scores)
     order = np.argsort(scores, kind="mergesort")
-    ranks = np.empty(len(scores), dtype=float)
-    ranks[order] = np.arange(1, len(scores) + 1, dtype=float)
-    # Average ranks over ties.
-    unique_scores, inverse = np.unique(scores, return_inverse=True)
-    for value_index in range(len(unique_scores)):
-        members = inverse == value_index
-        if members.sum() > 1:
-            ranks[members] = ranks[members].mean()
+    sorted_scores = scores[order]
+    # A new group starts where the sorted value changes; adjacent NaNs do not
+    # open one (NaN != NaN is True, but np.unique — the legacy tie grouping —
+    # treats all NaNs as one tie group, and argsort sorts them to the end).
+    changed = sorted_scores[1:] != sorted_scores[:-1]
+    changed &= ~(np.isnan(sorted_scores[1:]) & np.isnan(sorted_scores[:-1]))
+    group_starts = np.flatnonzero(np.r_[True, changed])
+    ordinal_ranks = np.arange(1, n_scores + 1, dtype=float)
+    group_sums = np.add.reduceat(ordinal_ranks, group_starts)
+    group_counts = np.diff(np.append(group_starts, n_scores))
+    ranks = np.empty(n_scores, dtype=float)
+    ranks[order] = np.repeat(group_sums / group_counts, group_counts)
     u_statistic = float(ranks[labels == 1].sum()) - positives * (positives + 1) / 2.0
     return u_statistic / (positives * negatives)
 
@@ -345,7 +355,7 @@ class RiskModelTrainer:
         output_probabilities = np.asarray(output_probabilities, dtype=float)
         machine_labels = np.asarray(machine_labels, dtype=int)
 
-        fit_indices, holdout_indices = self._split_holdout(risk_labels)
+        _, holdout_indices = self._split_holdout(risk_labels)
         fit_risk_labels = risk_labels.copy()
         if holdout_indices is not None:
             # Exclude the holdout pairs from the ranking loss by marking them

@@ -176,6 +176,10 @@ class RiskService:
         self._lock = threading.RLock()
         self._cache: OrderedDict[PairKey, np.ndarray] = OrderedDict()
         self._buffer: list[tuple[RecordPair, PendingScore]] = []
+        # Compile the rule-coverage kernel up front so the first request does
+        # not pay the build cost; every batch then reuses this one kernel.
+        if pipeline.risk_model is not None:
+            pipeline.risk_model.features.kernel
 
     # ------------------------------------------------------------ vectorising
     def _vectorize(self, pairs: Sequence[RecordPair]) -> np.ndarray:
@@ -199,11 +203,21 @@ class RiskService:
                 miss_indices.append(index)
         self.stats.record_cache(hits=hits, misses=len(miss_indices))
 
-        for index in miss_indices:
-            vector = vectorizer.transform_pair(pairs[index])
-            rows[index] = vector
-            self._cache[pair_key(pairs[index])] = vector
-            self._cache.move_to_end(pair_key(pairs[index]))
+        if miss_indices:
+            # One batched transform for all misses (the vectoriser's
+            # column-major path) instead of a per-pair call each.
+            miss_matrix = vectorizer.transform([pairs[index] for index in miss_indices])
+            for row_number, index in enumerate(miss_indices):
+                # Copy the row out of the batch matrix (so the cache does not
+                # pin the whole batch in memory) and freeze it: a caller
+                # mutating a matrix built from cached rows can never corrupt
+                # the cache.
+                vector = miss_matrix[row_number].copy()
+                vector.setflags(write=False)
+                rows[index] = vector
+                key = pair_key(pairs[index])
+                self._cache[key] = vector
+                self._cache.move_to_end(key)
             while len(self._cache) > self.cache_size:
                 self._cache.popitem(last=False)
 

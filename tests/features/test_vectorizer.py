@@ -56,3 +56,19 @@ class TestPairVectorizer:
         first = PairVectorizer(ds_workload.left_table.schema).fit_workload(ds_workload).transform(sample.pairs)
         second = PairVectorizer(ds_workload.left_table.schema).fit_workload(ds_workload).transform(sample.pairs)
         assert np.array_equal(first, second)
+
+    def test_batched_transform_matches_per_pair(self, ds_workload):
+        # The column-major batched path must reproduce per-pair vectorisation
+        # exactly (same metric functions, same context, same ordering).
+        sample = ds_workload.sample(50, seed=2)
+        vectorizer = PairVectorizer(ds_workload.left_table.schema).fit_workload(ds_workload)
+        batched = vectorizer.transform(sample.pairs)
+        per_pair = np.vstack([vectorizer.transform_pair(pair) for pair in sample.pairs])
+        np.testing.assert_array_equal(batched, per_pair)
+
+    def test_transform_accepts_generator(self, ds_workload):
+        sample = ds_workload.sample(10, seed=3)
+        vectorizer = PairVectorizer(ds_workload.left_table.schema).fit_workload(ds_workload)
+        from_list = vectorizer.transform(sample.pairs)
+        from_generator = vectorizer.transform(pair for pair in sample.pairs)
+        np.testing.assert_array_equal(from_list, from_generator)

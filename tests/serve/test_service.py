@@ -138,6 +138,47 @@ class TestCache:
         service.clear_cache()
         assert service.cache_fill == 0
 
+    def test_misses_are_vectorized_as_one_batch(self, served):
+        # Cache misses go through the vectoriser's batched transform; the
+        # resulting matrix must match per-pair vectorisation exactly.
+        pipeline, split = served
+        service = RiskService(pipeline, cache_size=4096)
+        pairs = split.test.pairs[:20]
+        matrix = service._vectorize(pairs)
+        expected = np.vstack([pipeline.vectorizer.transform_pair(pair) for pair in pairs])
+        np.testing.assert_array_equal(matrix, expected)
+        assert service.stats.cache_misses == 20
+
+    def test_mixed_hits_and_misses_stay_aligned(self, served):
+        pipeline, split = served
+        service = RiskService(pipeline, cache_size=4096)
+        service.score_pairs(split.test.pairs[:10])
+        # 5 hits interleaved with 5 misses, in shuffled order.
+        mixed = split.test.pairs[5:15]
+        matrix = service._vectorize(mixed)
+        expected = np.vstack([pipeline.vectorizer.transform_pair(pair) for pair in mixed])
+        np.testing.assert_array_equal(matrix, expected)
+
+    def test_cached_rows_are_immutable(self, served):
+        pipeline, split = served
+        service = RiskService(pipeline, cache_size=4096)
+        service.score_pairs(split.test.pairs[:5])
+        for row in service._cache.values():
+            assert not row.flags.writeable
+            with pytest.raises(ValueError):
+                row[0] = 123.0
+
+    def test_mutating_returned_matrix_cannot_corrupt_cache(self, served):
+        pipeline, split = served
+        service = RiskService(pipeline, cache_size=4096)
+        pairs = split.test.pairs[:8]
+        first = service._vectorize(pairs)
+        first[:] = -1.0  # caller scribbles over the returned matrix
+        second = service._vectorize(pairs)  # all cache hits
+        expected = np.vstack([pipeline.vectorizer.transform_pair(pair) for pair in pairs])
+        np.testing.assert_array_equal(second, expected)
+        assert service.stats.cache_hits == len(pairs)
+
 
 class TestSubmitFlush:
     def test_submit_autoflushes_at_batch_size(self, served):
