@@ -27,15 +27,22 @@ from .compose import (
     register_risk_feature_generator,
     register_risk_metric,
     register_vectorizer,
+    register_source,
     registered_classifiers,
     registered_risk_metrics,
+    registered_sources,
 )
 from .data import (
     MATCH,
     UNMATCH,
+    CsvPairSource,
+    GeneratorSource,
+    InMemorySource,
+    PairSource,
     Record,
     RecordPair,
     Schema,
+    ShardedSource,
     Table,
     Workload,
     load_dataset,
@@ -69,12 +76,16 @@ __version__ = "1.2.0"
 
 __all__ = [
     "ComponentSpec",
+    "CsvPairSource",
     "GeneratedRiskFeatures",
+    "GeneratorSource",
+    "InMemorySource",
     "LearnRiskModel",
     "LearnRiskPipeline",
     "MATCH",
     "ModelRegistry",
     "OneSidedTreeConfig",
+    "PairSource",
     "PipelineSpec",
     "Record",
     "RecordPair",
@@ -82,6 +93,7 @@ __all__ = [
     "RiskReport",
     "RiskService",
     "Schema",
+    "ShardedSource",
     "StagedPipeline",
     "Table",
     "TrainingConfig",
@@ -95,9 +107,11 @@ __all__ = [
     "register_classifier",
     "register_risk_feature_generator",
     "register_risk_metric",
+    "register_source",
     "register_vectorizer",
     "registered_classifiers",
     "registered_risk_metrics",
+    "registered_sources",
     "run_comparative_experiment",
     "run_holoclean_comparison",
     "run_ood_experiment",

@@ -12,6 +12,7 @@ import numpy as np
 
 from ..autodiff import Adam, Tensor, parameter
 from ..exceptions import ConfigurationError
+from ..numerics import batch_invariant_matvec
 from ..serialization import as_float_array, state_field
 from .base import BaseClassifier
 
@@ -81,7 +82,9 @@ class LogisticRegressionClassifier(BaseClassifier):
         self._check_fitted()
         features = np.asarray(features, dtype=float)
         scaled = features / self._feature_scale
-        logits = scaled @ self._weights.data + self._bias.data[0]
+        # Batch-invariant matvec (repro.numerics): chunked scoring must be
+        # bit-identical to eager scoring at any chunk size.
+        logits = batch_invariant_matvec(scaled, self._weights.data) + self._bias.data[0]
         return 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
 
     @property

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..autodiff import Adam, Tensor, parameter
 from ..exceptions import ConfigurationError
+from ..numerics import batch_invariant_matmul
 from ..serialization import as_float_array, state_field
 from .base import BaseClassifier
 
@@ -128,8 +129,18 @@ class MLPClassifier(BaseClassifier):
         self._check_fitted()
         features = np.asarray(features, dtype=float)
         scaled = (features - self._feature_mean) / self._feature_scale
-        probabilities = self._forward(Tensor(scaled))
-        return probabilities.numpy().copy()
+        # Inference mirrors _forward but with batch-invariant matmuls
+        # (repro.numerics): scoring a chunk of pairs must be bit-identical to
+        # scoring them inside a larger batch, which BLAS gemm does not
+        # guarantee.  Training keeps Tensor.matmul (BLAS) for throughput.
+        hidden = scaled
+        last_index = len(self._weights) - 1
+        for index, (weight, bias) in enumerate(zip(self._weights, self._biases)):
+            hidden = batch_invariant_matmul(hidden, weight.data) + bias.data
+            if index < last_index:
+                hidden = np.maximum(hidden, 0.0)
+        logits = hidden.reshape(-1)
+        return 1.0 / (1.0 + np.exp(-np.clip(logits, -60.0, 60.0)))
 
     # ------------------------------------------------------------ persistence
     state_kind = "mlp"

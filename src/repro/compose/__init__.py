@@ -8,8 +8,9 @@ components:
   risk features, risk metric, training, decision threshold);
 * :mod:`repro.compose.registries` — string-keyed component registries
   (:func:`register_classifier`, :func:`register_vectorizer`,
-  :func:`register_risk_feature_generator`, :func:`register_risk_metric`) so
-  new components plug in without touching core code;
+  :func:`register_risk_feature_generator`, :func:`register_risk_metric`,
+  :func:`register_source` for streaming pair-source backends) so new
+  components plug in without touching core code;
 * :mod:`repro.compose.staged` — :class:`StagedPipeline`, the staged fitting
   core (``fit_vectorizer`` → ``fit_classifier`` → ``generate_risk_features``
   → ``fit_risk_model``) with incremental ``refit_risk_model`` and streaming
@@ -29,19 +30,23 @@ The classic :class:`repro.pipeline.LearnRiskPipeline` is a thin facade over
 
 from .registries import (
     CLASSIFIERS,
+    PAIR_SOURCES,
     RISK_FEATURE_GENERATORS,
     VECTORIZERS,
     ComponentRegistry,
     create_classifier,
     create_risk_feature_generator,
+    create_source,
     create_vectorizer,
     register_classifier,
     register_risk_feature_generator,
     register_risk_metric,
+    register_source,
     register_vectorizer,
     registered_classifiers,
     registered_risk_feature_generators,
     registered_risk_metrics,
+    registered_sources,
     registered_vectorizers,
     resolve_risk_metric,
 )
@@ -52,6 +57,7 @@ __all__ = [
     "CLASSIFIERS",
     "ComponentRegistry",
     "ComponentSpec",
+    "PAIR_SOURCES",
     "PipelineSpec",
     "RISK_FEATURE_GENERATORS",
     "RiskReport",
@@ -60,14 +66,17 @@ __all__ = [
     "build_pipeline",
     "create_classifier",
     "create_risk_feature_generator",
+    "create_source",
     "create_vectorizer",
     "register_classifier",
     "register_risk_feature_generator",
     "register_risk_metric",
+    "register_source",
     "register_vectorizer",
     "registered_classifiers",
     "registered_risk_feature_generators",
     "registered_risk_metrics",
+    "registered_sources",
     "registered_vectorizers",
     "resolve_risk_metric",
 ]

@@ -28,6 +28,11 @@ risk metric
     ``function(distribution, machine_labels, *, theta) -> np.ndarray``; risk
     metrics live in the core registry of :mod:`repro.risk.metrics`, re-exported
     here so ``repro.compose`` is the one-stop registration surface.
+pair source
+    ``factory(**params) -> PairSource`` (see :mod:`repro.data.sources`), so a
+    :class:`PipelineSpec` can name its data backend (``"csv"``, ``"dataset"``,
+    ``"generator"``, ``"sharded"``) and the whole stack can stream pairs
+    out-of-core from configuration alone.
 """
 
 from __future__ import annotations
@@ -44,6 +49,13 @@ from ..classifiers import (
 )
 from ..classifiers.base import BaseClassifier
 from ..data.schema import Schema
+from ..data.sources import (
+    CsvPairSource,
+    GeneratorSource,
+    InMemorySource,
+    PairSource,
+    ShardedSource,
+)
 from ..exceptions import ConfigurationError
 from ..features.vectorizer import PairVectorizer
 from ..registry import ComponentRegistry
@@ -63,6 +75,8 @@ CLASSIFIERS = ComponentRegistry("classifier")
 VECTORIZERS = ComponentRegistry("vectorizer")
 #: Registry of risk-feature-generator factories (``factory(**params)``).
 RISK_FEATURE_GENERATORS = ComponentRegistry("risk feature generator")
+#: Registry of pair-source factories (``factory(**params) -> PairSource``).
+PAIR_SOURCES = ComponentRegistry("pair source")
 
 
 def register_classifier(
@@ -96,9 +110,21 @@ def registered_vectorizers() -> list[str]:
     return VECTORIZERS.keys()
 
 
+def register_source(
+    key: str, factory: Callable[..., PairSource] | None = None, *, overwrite: bool = False
+) -> Callable[..., Any]:
+    """Register a pair-source factory under ``key`` (usable as a decorator)."""
+    return PAIR_SOURCES.register(key, factory, overwrite=overwrite)
+
+
 def registered_risk_feature_generators() -> list[str]:
     """Registered risk-feature-generator keys, sorted."""
     return RISK_FEATURE_GENERATORS.keys()
+
+
+def registered_sources() -> list[str]:
+    """Registered pair-source keys, sorted."""
+    return PAIR_SOURCES.keys()
 
 
 def _accepts_parameter(factory: Callable[..., Any], name: str) -> bool:
@@ -149,6 +175,20 @@ def create_risk_feature_generator(kind: str, params: Mapping[str, Any], seed: in
     return RISK_FEATURE_GENERATORS.create(kind, **params)
 
 
+def create_source(kind: str, params: Mapping[str, Any], seed: int = 0) -> PairSource:
+    """Build a pair source from its registry key (seed-injected like classifiers)."""
+    params = dict(params)
+    if "seed" not in params and _accepts_parameter(PAIR_SOURCES.get(kind), "seed"):
+        params["seed"] = seed
+    source = PAIR_SOURCES.create(kind, **params)
+    if not isinstance(source, PairSource):
+        raise ConfigurationError(
+            f"pair-source factory {kind!r} returned {type(source).__name__}, "
+            f"expected a PairSource"
+        )
+    return source
+
+
 # ------------------------------------------------------------------ built-ins
 register_classifier("mlp", MLPClassifier)
 register_classifier("logistic", LogisticRegressionClassifier)
@@ -174,6 +214,79 @@ def build_basic_vectorizer(schema: Schema, kinds: list[str] | None = None) -> Pa
             schema, metrics=[spec for spec in vectorizer.metrics if spec.kind in wanted]
         )
     return vectorizer
+
+
+@register_source("csv")
+def build_csv_source(
+    directory: str,
+    name: str = "workload",
+    schema: Mapping[str, Any] | str | None = None,
+    pairs_path: str | None = None,
+) -> CsvPairSource:
+    """Chunked reader over an exported CSV workload (:mod:`repro.data.io` layout).
+
+    ``schema`` is the :meth:`Schema.to_dict` mapping or a path to a JSON file
+    in that format; ``pairs_path`` optionally overrides ``<name>_pairs.csv``.
+    """
+    if schema is None:
+        raise ConfigurationError("csv source requires a 'schema' (mapping or JSON file path)")
+    return CsvPairSource(directory, name, schema, pairs_path=pairs_path)
+
+
+@register_source("dataset")
+def build_dataset_source(
+    name: str = "DS", scale: float = 1.0, seed: int | None = None
+) -> InMemorySource:
+    """A built-in benchmark-analogue workload served through the source protocol."""
+    from ..data.datasets import load_dataset
+
+    return InMemorySource(load_dataset(name, scale=scale, seed=seed))
+
+
+@register_source("generator")
+def build_generator_source(
+    domain: str = "bibliographic",
+    config: Mapping[str, Any] | None = None,
+    name: str = "synthetic",
+    max_pairs: int | None = None,
+    seed: int = 0,
+) -> GeneratorSource:
+    """An (optionally unbounded) synthetic pair stream.
+
+    ``config`` holds :class:`~repro.data.generators.GenerationConfig` field
+    overrides; omitted fields keep the generator defaults.
+    """
+    from ..data.generators import GenerationConfig
+
+    generation_config = None
+    if config is not None:
+        generation_config = dataclass_from_dict(GenerationConfig, config)
+    return GeneratorSource(
+        domain, config=generation_config, name=name, max_pairs=max_pairs, seed=seed
+    )
+
+
+@register_source("sharded")
+def build_sharded_source(
+    sources: list[Mapping[str, Any]] | None = None,
+    interleave: bool = False,
+    name: str | None = None,
+    seed: int = 0,
+) -> ShardedSource:
+    """Concatenate/interleave child sources, each named by its own spec.
+
+    ``sources`` is a list of ``{"kind": ..., "params": {...}}`` component
+    specs resolved recursively through this registry.
+    """
+    from .spec import ComponentSpec
+
+    if not sources:
+        raise ConfigurationError("sharded source requires a non-empty 'sources' list")
+    children = []
+    for entry in sources:
+        child_spec = ComponentSpec.coerce(entry, "pair source")
+        children.append(create_source(child_spec.kind, child_spec.params, seed))
+    return ShardedSource(children, interleave=interleave, name=name)
 
 
 @register_risk_feature_generator("onesided_tree")

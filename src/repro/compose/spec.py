@@ -34,6 +34,7 @@ from ..risk.training import TrainingConfig
 from ..serialization import dataclass_from_dict
 from .registries import (
     CLASSIFIERS,
+    PAIR_SOURCES,
     RISK_FEATURE_GENERATORS,
     VECTORIZERS,
     resolve_risk_metric,
@@ -137,7 +138,7 @@ def component_spec_for_classifier(classifier: BaseClassifier) -> ComponentSpec:
 
 _TRAINING_FIELDS = {config_field.name for config_field in dataclasses.fields(TrainingConfig)}
 _SPEC_FIELDS = (
-    "classifier", "vectorizer", "risk_features",
+    "classifier", "vectorizer", "risk_features", "source",
     "risk_metric", "training", "decision_threshold", "seed",
 )
 
@@ -151,6 +152,12 @@ class PipelineSpec:
     classifier, vectorizer, risk_features:
         Component specs resolved through the registries of
         :mod:`repro.compose.registries`.
+    source:
+        Optional data-backend spec resolved through the pair-source registry
+        (``"csv"``, ``"dataset"``, ``"generator"``, ``"sharded"``, or anything
+        added via ``register_source``).  When set, the pipeline knows where
+        its pairs stream from and ``StagedPipeline.build_source()`` (or
+        :func:`build_source`) materialises the backend.
     risk_metric:
         Name of a registered risk metric (``"var"``, ``"cvar"``,
         ``"expectation"``, or anything added via ``register_risk_metric``).
@@ -169,6 +176,7 @@ class PipelineSpec:
     )
     vectorizer: ComponentSpec = field(default_factory=lambda: ComponentSpec("basic"))
     risk_features: ComponentSpec = field(default_factory=lambda: ComponentSpec("onesided_tree"))
+    source: ComponentSpec | None = None
     risk_metric: str = "var"
     training: dict[str, Any] = field(default_factory=dict)
     decision_threshold: float = 0.5
@@ -178,6 +186,8 @@ class PipelineSpec:
         self.classifier = ComponentSpec.coerce(self.classifier, "classifier")
         self.vectorizer = ComponentSpec.coerce(self.vectorizer, "vectorizer")
         self.risk_features = ComponentSpec.coerce(self.risk_features, "risk_features")
+        if self.source is not None:
+            self.source = ComponentSpec.coerce(self.source, "source")
         if not isinstance(self.training, Mapping):
             raise ConfigurationError(
                 f"training must be a mapping of TrainingConfig fields, "
@@ -211,6 +221,8 @@ class PipelineSpec:
             CLASSIFIERS.get(self.classifier.kind)
             VECTORIZERS.get(self.vectorizer.kind)
             RISK_FEATURE_GENERATORS.get(self.risk_features.kind)
+            if self.source is not None:
+                PAIR_SOURCES.get(self.source.kind)
         return self
 
     def training_config(self) -> TrainingConfig:
@@ -221,8 +233,12 @@ class PipelineSpec:
 
     # ----------------------------------------------------------- serialisation
     def to_dict(self) -> dict[str, Any]:
-        """Plain-JSON representation (inverse of :meth:`from_dict`)."""
-        return {
+        """Plain-JSON representation (inverse of :meth:`from_dict`).
+
+        The ``source`` key is only emitted when a data backend is configured,
+        so specs written by older library versions round-trip unchanged.
+        """
+        values = {
             "classifier": self.classifier.to_dict(),
             "vectorizer": self.vectorizer.to_dict(),
             "risk_features": self.risk_features.to_dict(),
@@ -231,6 +247,9 @@ class PipelineSpec:
             "decision_threshold": self.decision_threshold,
             "seed": self.seed,
         }
+        if self.source is not None:
+            values["source"] = self.source.to_dict()
+        return values
 
     @classmethod
     def from_dict(cls, values: Mapping[str, Any]) -> "PipelineSpec":

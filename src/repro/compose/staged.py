@@ -32,6 +32,7 @@ import numpy as np
 
 from ..classifiers.base import BaseClassifier, classifier_from_state
 from ..data.records import RecordPair
+from ..data.sources import PairSource, as_workload
 from ..data.workload import Workload
 from ..evaluation.roc import auroc_score, mislabel_indicator
 from ..exceptions import ConfigurationError, DataError, NotFittedError
@@ -50,6 +51,7 @@ from .registries import (
     VECTORIZERS,
     create_classifier,
     create_risk_feature_generator,
+    create_source,
     create_vectorizer,
 )
 from .spec import ComponentSpec, PipelineSpec, component_spec_for_classifier
@@ -235,6 +237,22 @@ class StagedPipeline:
         self._check_incremental_ready()
         return self.fit_risk_model(validation)
 
+    # -------------------------------------------------------------- data source
+    def build_source(self) -> PairSource:
+        """Materialise the spec-named data backend (``spec.source``).
+
+        Raises
+        ------
+        ConfigurationError
+            When the spec names no source, or names an unregistered one.
+        """
+        if self.spec.source is None:
+            raise ConfigurationError(
+                "the pipeline spec names no data source; set the spec's 'source' "
+                "field (e.g. {\"kind\": \"csv\", \"params\": {...}})"
+            )
+        return create_source(self.spec.source.kind, self.spec.source.params, self.spec.seed)
+
     def _check_incremental_ready(self) -> None:
         if self.vectorizer is None or self.risk_features is None:
             raise NotFittedError(
@@ -259,9 +277,26 @@ class StagedPipeline:
         probabilities, machine_labels = self.classify_matrix(matrix)
         return matrix, probabilities, machine_labels
 
-    def label(self, workload: Workload) -> tuple[np.ndarray, np.ndarray]:
-        """Label a workload with the classifier: ``(probabilities, hard labels)``."""
+    def label(
+        self, workload: Workload | PairSource, batch_size: int = 1024
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Label a workload with the classifier: ``(probabilities, hard labels)``.
+
+        A :class:`~repro.data.sources.PairSource` is labeled chunk by chunk
+        (``batch_size`` pairs at a time) so memory stays bounded by the chunk;
+        an eager workload keeps the legacy one-shot path bit for bit.
+        """
         self._check_fitted()
+        if isinstance(workload, PairSource):
+            probability_chunks: list[np.ndarray] = []
+            label_chunks: list[np.ndarray] = []
+            for chunk in workload.iter_chunks(batch_size):
+                _, probabilities, machine_labels = self._classify_pairs(chunk)
+                probability_chunks.append(probabilities)
+                label_chunks.append(machine_labels)
+            if not probability_chunks:
+                return np.zeros(0, dtype=float), np.zeros(0, dtype=int)
+            return np.concatenate(probability_chunks), np.concatenate(label_chunks)
         _, probabilities, machine_labels = self._classify_pairs(workload.pairs)
         return probabilities, machine_labels
 
@@ -298,24 +333,30 @@ class StagedPipeline:
             explanations=explanations,
         )
 
-    def analyse(self, workload: Workload, explain_top: int = 0) -> RiskReport:
+    def analyse(self, workload: Workload | PairSource, explain_top: int = 0) -> RiskReport:
         """Label ``workload`` and rank its pairs by mislabeling risk.
 
         When the workload carries ground truth the report includes the AUROC
         of the risk ranking; ``explain_top`` attaches rule-level explanations
-        for the given number of riskiest pairs.
+        for the given number of riskiest pairs.  A bounded
+        :class:`~repro.data.sources.PairSource` is materialised first (a
+        single report needs every pair); use :meth:`analyse_batches` to stay
+        out-of-core.
         """
         self._check_fitted()
-        return self._report(list(workload.pairs), explain_top=explain_top)
+        return self._report(list(as_workload(workload).pairs), explain_top=explain_top)
 
     def analyse_batches(
-        self, workload: Workload, batch_size: int = 1024, explain_top: int = 0
+        self, workload: Workload | PairSource, batch_size: int = 1024, explain_top: int = 0
     ) -> Iterator[RiskReport]:
         """Stream :class:`RiskReport` chunks of at most ``batch_size`` pairs.
 
         Memory stays bounded by the batch size instead of the workload size,
-        which is how large workloads should be analysed.  Rankings, AUROC and
-        explanations are per-chunk.
+        which is how large workloads should be analysed.  Accepts an eager
+        :class:`Workload`, a lazy source-backed workload view, or a
+        :class:`~repro.data.sources.PairSource` directly — streamed sources
+        are never fully materialised.  Rankings, AUROC and explanations are
+        per-chunk.
         """
         self._check_fitted()
         if batch_size < 1:
@@ -323,9 +364,10 @@ class StagedPipeline:
         # Compile the rule-coverage kernel once before streaming so every
         # chunk reuses it instead of the first chunk paying the build cost.
         self.risk_model.features.kernel
-        pairs = workload.pairs
-        for start in range(0, len(pairs), batch_size):
-            yield self._report(pairs[start:start + batch_size], explain_top=explain_top)
+        for chunk in workload.iter_chunks(batch_size):
+            if not chunk:  # defensive: custom sources may emit empty chunks
+                continue
+            yield self._report(chunk, explain_top=explain_top)
 
     def explain_pair(self, pair: RecordPair, top_k: int | None = None) -> list[FeatureExplanation]:
         """Explain a single pair's risk in terms of the rules covering it."""

@@ -14,10 +14,11 @@ This module implements two standard blockers from scratch:
 * :class:`SortedNeighbourhoodBlocker` — sorts both tables by a key expression
   and pairs records within a sliding window.
 
-Both return unique ``(left_id, right_id)`` pairs; :func:`block_tables` combines
-them and (optionally) guarantees recall of a supplied ground-truth match set so
-that synthetic workloads keep the same *shape* as the paper's pre-blocked
-benchmark data.
+Both return unique, deterministically sorted ``(left_id, right_id)`` pairs —
+sorted so downstream candidate order never depends on ``PYTHONHASHSEED`` —
+and :func:`block_tables` combines them and (optionally) guarantees recall of a
+supplied ground-truth match set so that synthetic workloads keep the same
+*shape* as the paper's pre-blocked benchmark data.
 """
 
 from __future__ import annotations
@@ -76,8 +77,13 @@ class TokenBlocker:
         limit = max(1, int(self.max_token_frequency * len(table)))
         return {token for token, count in counts.items() if count > limit}
 
-    def block(self, left_table: Table, right_table: Table) -> set[tuple[str, str]]:
-        """Return the candidate ``(left_id, right_id)`` pairs."""
+    def block(self, left_table: Table, right_table: Table) -> list[tuple[str, str]]:
+        """Return the candidate ``(left_id, right_id)`` pairs, deterministically sorted.
+
+        The sorted order makes downstream pair order independent of
+        ``PYTHONHASHSEED`` (sets iterate in hash order), so generated
+        workloads are reproducible across processes.
+        """
         stop = self._stop_tokens(left_table) | self._stop_tokens(right_table)
         index: dict[str, list[str]] = defaultdict(list)
         for record in right_table:
@@ -89,7 +95,7 @@ class TokenBlocker:
             for token in self._record_tokens(record) - stop:
                 for right_id in index.get(token, ()):
                     shared_counts[(record.record_id, right_id)] += 1
-        return {pair for pair, count in shared_counts.items() if count >= self.min_shared}
+        return sorted(pair for pair, count in shared_counts.items() if count >= self.min_shared)
 
 
 class SortedNeighbourhoodBlocker:
@@ -111,8 +117,8 @@ class SortedNeighbourhoodBlocker:
         self.key = key
         self.window = window
 
-    def block(self, left_table: Table, right_table: Table) -> set[tuple[str, str]]:
-        """Return the candidate ``(left_id, right_id)`` pairs."""
+    def block(self, left_table: Table, right_table: Table) -> list[tuple[str, str]]:
+        """Return the candidate ``(left_id, right_id)`` pairs, deterministically sorted."""
         entries: list[tuple[str, int, str]] = []
         for record in left_table:
             entries.append((self.key(record) or "~", 0, record.record_id))
@@ -130,7 +136,7 @@ class SortedNeighbourhoodBlocker:
                     pairs.add((id_i, id_j))
                 else:
                     pairs.add((id_j, id_i))
-        return pairs
+        return sorted(pairs)
 
 
 def block_tables(
@@ -150,7 +156,7 @@ def block_tables(
     """
     candidates: set[tuple[str, str]] = set()
     for blocker in blockers:
-        candidates |= blocker.block(left_table, right_table)
+        candidates.update(blocker.block(left_table, right_table))
     for left_id, right_id in ensure_matches:
         if left_id in left_table and right_id in right_table:
             candidates.add((left_id, right_id))

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
+from typing import Iterator
 
 from ..exceptions import DataError
 from .records import Record, Table, pairs_from_ids
@@ -73,17 +74,38 @@ def write_pairs(pairs: list[tuple[str, str]], path: str | Path) -> Path:
 
 def read_pairs(path: str | Path) -> list[tuple[str, str]]:
     """Read ``(left_id, right_id)`` pairs written by :func:`write_pairs`."""
+    pairs = []
+    for chunk in iter_pair_id_chunks(path, chunk_size=4096):
+        pairs.extend(chunk)
+    return pairs
+
+
+def iter_pair_id_chunks(
+    path: str | Path, chunk_size: int = 1024
+) -> Iterator[list[tuple[str, str]]]:
+    """Stream a pair CSV in chunks of at most ``chunk_size`` id pairs.
+
+    This is the out-of-core counterpart of :func:`read_pairs`: the file — the
+    O(records²) artefact of an exported workload — is never held in memory as
+    a whole.  Chunks are never empty; only the last one may be partial.
+    """
     path = Path(path)
     if not path.exists():
         raise DataError(f"pair file {path} does not exist")
-    pairs = []
+    if chunk_size < 1:
+        raise DataError(f"chunk_size must be >= 1, got {chunk_size}")
     with path.open(newline="") as handle:
         reader = csv.DictReader(handle)
         if reader.fieldnames is None or {"left_id", "right_id"} - set(reader.fieldnames):
             raise DataError(f"pair file {path} must have 'left_id' and 'right_id' columns")
+        chunk: list[tuple[str, str]] = []
         for row in reader:
-            pairs.append((row["left_id"], row["right_id"]))
-    return pairs
+            chunk.append((row["left_id"], row["right_id"]))
+            if len(chunk) >= chunk_size:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
 
 
 def export_workload(workload: Workload, directory: str | Path) -> dict[str, Path]:

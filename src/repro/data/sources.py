@@ -1,0 +1,464 @@
+"""Pluggable streaming pair-source backends.
+
+Every entry point of the library used to require a fully materialised
+:class:`~repro.data.workload.Workload` — ``Workload.__init__`` eagerly does
+``list(pairs)`` — which caps workload size at RAM.  A :class:`PairSource`
+instead *yields* candidate pairs in bounded chunks, so the whole stack
+(``StagedPipeline.analyse_batches``, ``RiskService``, the serve CLI) can run
+out-of-core: peak memory is one chunk, not one workload.  This mirrors the
+incremental/wave-based processing regime of risk-aware ER at scale (r-HUMO and
+the gradual-ML formulation of entity resolution).
+
+Backends
+--------
+:class:`InMemorySource`
+    Wraps an existing workload or pair list; chunked iteration over it is
+    bit-identical to eager processing.
+:class:`CsvPairSource`
+    Chunked reader over the :mod:`repro.data.io` CSV export layout.  The two
+    record tables are loaded once (they are O(records)); the candidate-pair
+    file — the O(records²) part — is streamed chunk by chunk and never held
+    in memory as a whole.
+:class:`GeneratorSource`
+    Wraps the synthetic generators of :mod:`repro.data.generators` as an
+    (optionally unbounded) stream of generation *waves*.
+:class:`ShardedSource`
+    Concatenates or interleaves child sources, for multi-file / multi-shard
+    corpora.
+
+Sources are re-iterable: every :meth:`PairSource.iter_chunks` call starts a
+fresh pass, so the same source can feed fitting and scoring.  They plug into
+the composable pipeline API through ``repro.compose.register_source`` and the
+``source`` field of a :class:`~repro.compose.spec.PipelineSpec`.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Sequence
+
+from ..exceptions import ConfigurationError, DataError
+from .io import iter_pair_id_chunks, read_pairs, read_table
+from .records import MATCH, RecordPair, Table, UNMATCH
+from .schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (workload imports sources)
+    from .generators import DomainGenerator, GenerationConfig
+    from .workload import Workload
+
+#: Default number of pairs per streamed chunk.
+DEFAULT_CHUNK_SIZE = 1024
+
+
+def _check_chunk_size(chunk_size: int) -> int:
+    if chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    return chunk_size
+
+
+def chunked(pairs: Iterable[RecordPair], chunk_size: int) -> Iterator[list[RecordPair]]:
+    """Repack any pair iterable into lists of at most ``chunk_size`` pairs.
+
+    Never yields an empty chunk; only the final chunk may be partial.
+    """
+    _check_chunk_size(chunk_size)
+    iterator = iter(pairs)
+    while True:
+        chunk = list(itertools.islice(iterator, chunk_size))
+        if not chunk:
+            return
+        yield chunk
+
+
+class PairSource(abc.ABC):
+    """A (possibly unbounded) stream of candidate record pairs.
+
+    Concrete sources implement :meth:`iter_chunks`; everything else —
+    flat iteration, length metadata, materialisation — derives from it.
+    """
+
+    #: Human-readable source name (used as the workload name on materialisation).
+    name: str = "source"
+
+    @abc.abstractmethod
+    def iter_chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[list[RecordPair]]:
+        """Yield the pairs in lists of at most ``chunk_size``.
+
+        Chunks are never empty; only the last chunk may be partial.  Each call
+        starts a fresh pass over the source.
+        """
+
+    def __iter__(self) -> Iterator[RecordPair]:
+        """Flat pair iteration (a fresh pass, chunked internally)."""
+        for chunk in self.iter_chunks():
+            yield from chunk
+
+    # ------------------------------------------------------------- metadata
+    @property
+    def length(self) -> int | None:
+        """Number of pairs when known without a full pass, else ``None``."""
+        return None
+
+    @property
+    def labeled(self) -> bool | None:
+        """Whether every pair carries ground truth; ``None`` when unknown."""
+        return None
+
+    def __len__(self) -> int:
+        length = self.length
+        if length is None:
+            raise TypeError(f"{type(self).__name__} has no known length")
+        return length
+
+    # -------------------------------------------------------- materialisation
+    @property
+    def left_table(self) -> Table | None:
+        """The left source table when the backend knows it, for provenance."""
+        return None
+
+    @property
+    def right_table(self) -> Table | None:
+        """The right source table when the backend knows it, for provenance."""
+        return None
+
+    def materialize(self, name: str | None = None) -> "Workload":
+        """Collect the full stream into an eager :class:`Workload`.
+
+        Only safe for bounded sources; an unbounded :class:`GeneratorSource`
+        raises instead of looping forever.
+        """
+        from .workload import Workload
+
+        return Workload(name or self.name, iter(self), self.left_table, self.right_table)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        length = self.length
+        size = "unbounded" if length is None else str(length)
+        return f"{type(self).__name__}(name={self.name!r}, length={size})"
+
+
+class InMemorySource(PairSource):
+    """A source over pairs already in memory (typically a :class:`Workload`).
+
+    Chunked iteration preserves the exact pair order of the wrapped workload,
+    so streaming through this source is bit-identical to the eager path.
+    """
+
+    def __init__(
+        self,
+        pairs: "Workload | Sequence[RecordPair]",
+        name: str | None = None,
+    ) -> None:
+        from .workload import Workload
+
+        if isinstance(pairs, Workload):
+            self.workload: Workload | None = pairs
+            self._pairs: Sequence[RecordPair] = pairs.pairs
+            self.name = name or pairs.name
+        else:
+            self.workload = None
+            self._pairs = list(pairs)
+            self.name = name or "in-memory"
+
+    def iter_chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[list[RecordPair]]:
+        _check_chunk_size(chunk_size)
+        for start in range(0, len(self._pairs), chunk_size):
+            yield list(self._pairs[start:start + chunk_size])
+
+    @property
+    def length(self) -> int:
+        return len(self._pairs)
+
+    @property
+    def labeled(self) -> bool:
+        return all(pair.ground_truth is not None for pair in self._pairs)
+
+    @property
+    def left_table(self) -> Table | None:
+        return None if self.workload is None else self.workload.left_table
+
+    @property
+    def right_table(self) -> Table | None:
+        return None if self.workload is None else self.workload.right_table
+
+    def materialize(self, name: str | None = None) -> "Workload":
+        if self.workload is not None and (name is None or name == self.workload.name):
+            return self.workload
+        return super().materialize(name)
+
+
+class CsvPairSource(PairSource):
+    """Chunked reader over the :mod:`repro.data.io` CSV export layout.
+
+    The layout is the one written by :func:`repro.data.io.export_workload`:
+    ``<name>_left.csv`` / ``<name>_right.csv`` record tables, a
+    ``<name>_matches.csv`` ground-truth file and a ``<name>_pairs.csv``
+    candidate file.  The tables and the match set are loaded once; the
+    candidate-pair file is re-read in chunks on every pass and never fully
+    materialised, which is what keeps huge exported workloads out-of-core.
+
+    Parameters
+    ----------
+    directory:
+        Directory of the CSV files.
+    name:
+        Workload name prefix (``<name>_left.csv`` etc.).
+    schema:
+        The table schema — a :class:`Schema`, its ``to_dict`` mapping, or a
+        path to a JSON file in that format.
+    pairs_path:
+        Optional explicit candidate-pair CSV overriding ``<name>_pairs.csv``.
+        When neither exists the match file doubles as the candidate list,
+        mirroring :func:`repro.data.io.import_workload`.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        name: str,
+        schema: Schema | Mapping[str, Any] | str | Path,
+        pairs_path: str | Path | None = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.name = name
+        self.schema = _coerce_schema(schema)
+        self._left = read_table(
+            self.directory / f"{name}_left.csv", self.schema, name=f"{name}-left"
+        )
+        self._right = read_table(
+            self.directory / f"{name}_right.csv", self.schema, name=f"{name}-right"
+        )
+        self._matches = set(read_pairs(self.directory / f"{name}_matches.csv"))
+        if pairs_path is not None:
+            self._pairs_path = Path(pairs_path)
+            if not self._pairs_path.exists():
+                raise DataError(f"pair file {self._pairs_path} does not exist")
+        else:
+            default = self.directory / f"{name}_pairs.csv"
+            self._pairs_path = default if default.exists() else self.directory / f"{name}_matches.csv"
+
+    def iter_chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[list[RecordPair]]:
+        _check_chunk_size(chunk_size)
+        for id_chunk in iter_pair_id_chunks(self._pairs_path, chunk_size):
+            chunk = []
+            for left_id, right_id in id_chunk:
+                truth = MATCH if (left_id, right_id) in self._matches else UNMATCH
+                chunk.append(
+                    RecordPair(self._left[left_id], self._right[right_id], ground_truth=truth)
+                )
+            yield chunk
+
+    @property
+    def labeled(self) -> bool:
+        # The CSV layout always carries a match file, so every streamed pair
+        # gets a MATCH/UNMATCH label (exactly like import_workload).
+        return True
+
+    @property
+    def left_table(self) -> Table:
+        return self._left
+
+    @property
+    def right_table(self) -> Table:
+        return self._right
+
+
+class GeneratorSource(PairSource):
+    """Stream synthetic pairs from a :mod:`repro.data.generators` domain.
+
+    Pairs arrive in *waves*: each wave is one ``generate_workload`` call with
+    the wave index folded into the seed (and into the workload name, so record
+    identities never collide across waves).  With ``max_pairs=None`` the
+    stream is unbounded — ``iter_chunks`` keeps producing fresh waves forever,
+    which is the regime for soak-testing the serving layer.
+
+    Parameters
+    ----------
+    domain:
+        A domain name accepted by :func:`repro.data.generators.make_generator`
+        or a :class:`~repro.data.generators.DomainGenerator` instance.
+    config:
+        The per-wave :class:`~repro.data.generators.GenerationConfig`.
+    max_pairs:
+        Total number of pairs to emit; ``None`` streams without bound.
+    seed:
+        Base seed; wave ``i`` generates with ``seed + i``.
+    """
+
+    def __init__(
+        self,
+        domain: "str | DomainGenerator",
+        config: "GenerationConfig | None" = None,
+        name: str = "synthetic",
+        max_pairs: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        from .generators import DomainGenerator, GenerationConfig, make_generator
+
+        if isinstance(domain, DomainGenerator):
+            self.generator = domain
+        else:
+            self.generator = make_generator(domain)
+        self.config = config or GenerationConfig()
+        if max_pairs is not None and max_pairs < 1:
+            raise ConfigurationError(f"max_pairs must be >= 1 or None, got {max_pairs}")
+        self.max_pairs = max_pairs
+        self.name = name
+        self.seed = seed
+
+    def _waves(self) -> Iterator[RecordPair]:
+        from dataclasses import replace
+
+        from .generators import generate_workload
+
+        for wave in itertools.count():
+            config = replace(self.config, seed=self.seed + wave)
+            workload = generate_workload(self.generator, config, name=f"{self.name}#{wave}")
+            yield from workload.pairs
+
+    def iter_chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[list[RecordPair]]:
+        _check_chunk_size(chunk_size)
+        stream: Iterator[RecordPair] = self._waves()
+        if self.max_pairs is not None:
+            stream = itertools.islice(stream, self.max_pairs)
+        yield from chunked(stream, chunk_size)
+
+    @property
+    def length(self) -> int | None:
+        return self.max_pairs
+
+    @property
+    def labeled(self) -> bool:
+        return True
+
+    def materialize(self, name: str | None = None) -> "Workload":
+        if self.max_pairs is None:
+            raise ConfigurationError(
+                "cannot materialize an unbounded GeneratorSource; set max_pairs"
+            )
+        return super().materialize(name)
+
+
+class ShardedSource(PairSource):
+    """Combine child sources into one stream (multi-file / multi-shard corpora).
+
+    ``interleave=False`` (the default) concatenates the children in order and
+    repacks their pairs into full-sized chunks, so downstream batch sizes do
+    not depend on shard boundaries.  ``interleave=True`` round-robins one
+    chunk from each still-active child — the wave-style mixing regime, useful
+    when shards are sorted differently and the consumer wants variety early.
+    """
+
+    def __init__(
+        self,
+        sources: Sequence[PairSource],
+        interleave: bool = False,
+        name: str | None = None,
+    ) -> None:
+        sources = list(sources)
+        if not sources:
+            raise ConfigurationError("ShardedSource requires at least one child source")
+        for source in sources:
+            if not isinstance(source, PairSource):
+                raise ConfigurationError(
+                    f"ShardedSource children must be PairSource instances, "
+                    f"got {type(source).__name__}"
+                )
+        self.sources = sources
+        self.interleave = interleave
+        self.name = name or "+".join(source.name for source in sources)
+
+    def iter_chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[list[RecordPair]]:
+        _check_chunk_size(chunk_size)
+        if not self.interleave:
+            flat = itertools.chain.from_iterable(
+                itertools.chain.from_iterable(
+                    source.iter_chunks(chunk_size) for source in self.sources
+                )
+            )
+            yield from chunked(flat, chunk_size)
+            return
+        active = [source.iter_chunks(chunk_size) for source in self.sources]
+        while active:
+            still_active = []
+            for iterator in active:
+                chunk = next(iterator, None)
+                if chunk is None:  # exhausted; an empty chunk is NOT exhaustion
+                    continue
+                still_active.append(iterator)
+                if chunk:
+                    yield chunk
+            active = still_active
+
+    @property
+    def length(self) -> int | None:
+        total = 0
+        for source in self.sources:
+            length = source.length
+            if length is None:
+                return None
+            total += length
+        return total
+
+    @property
+    def labeled(self) -> bool | None:
+        flags = [source.labeled for source in self.sources]
+        if any(flag is None for flag in flags):
+            return None
+        return all(flags)
+
+
+# ------------------------------------------------------------------ coercion
+def _coerce_schema(schema: Schema | Mapping[str, Any] | str | Path) -> Schema:
+    """Accept a :class:`Schema`, its ``to_dict`` mapping, or a JSON file path."""
+    if isinstance(schema, Schema):
+        return schema
+    if isinstance(schema, Mapping):
+        return Schema.from_dict(schema)
+    if isinstance(schema, (str, Path)):
+        import json
+
+        path = Path(schema)
+        if not path.exists():
+            raise DataError(f"schema file {path} does not exist")
+        return Schema.from_dict(json.loads(path.read_text()))
+    raise ConfigurationError(
+        f"schema must be a Schema, a mapping or a JSON file path, "
+        f"got {type(schema).__name__}"
+    )
+
+
+def as_pair_source(data: "PairSource | Workload | Sequence[RecordPair]") -> PairSource:
+    """Coerce a workload or pair sequence into a :class:`PairSource`.
+
+    Sources pass through untouched.  A lazy source-backed workload view hands
+    back its backing source (staying out-of-core instead of materialising);
+    eager workloads and sequences are wrapped in an :class:`InMemorySource`
+    (bit-identical chunked behaviour).
+    """
+    from .workload import Workload
+
+    if isinstance(data, PairSource):
+        return data
+    if isinstance(data, Workload) and not data.is_materialized and data.source is not None:
+        return data.source
+    return InMemorySource(data)
+
+
+def as_workload(data: "PairSource | Workload", name: str | None = None) -> "Workload":
+    """Coerce a source into a :class:`Workload` (materialising if needed).
+
+    Workloads pass through untouched; an :class:`InMemorySource` wrapping a
+    workload hands back that exact workload, so round trips are free.
+    """
+    from .workload import Workload
+
+    if isinstance(data, Workload):
+        return data
+    if isinstance(data, PairSource):
+        return data.materialize(name)
+    raise ConfigurationError(
+        f"expected a Workload or PairSource, got {type(data).__name__}"
+    )

@@ -31,6 +31,12 @@ class Workload:
         but most operations (splitting, evaluation) require it.
     left_table, right_table:
         The source tables, kept for provenance and statistics.
+
+    A workload built with :meth:`from_source` is a *lazy view* over a
+    :class:`~repro.data.sources.PairSource`: nothing is materialised until the
+    :attr:`pairs` list is first accessed, and :meth:`iter_chunks` streams
+    straight from the source, so chunked consumers never trigger
+    materialisation at all.
     """
 
     def __init__(
@@ -41,11 +47,76 @@ class Workload:
         right_table: Table | None = None,
     ) -> None:
         self.name = name
-        self.pairs: list[RecordPair] = list(pairs)
+        self._source = None
+        self.pairs = pairs  # the setter materialises and resets the count cache
         self.left_table = left_table
         self.right_table = right_table
 
+    @classmethod
+    def from_source(cls, source, name: str | None = None) -> "Workload":
+        """A lazy workload view over a :class:`~repro.data.sources.PairSource`.
+
+        The source is not consumed here; accessing :attr:`pairs` (or any
+        operation needing random access) materialises it once, while
+        :meth:`iter_chunks` and ``len()`` (for sources with known length)
+        work without ever materialising.
+        """
+        workload = cls.__new__(cls)
+        workload.name = name or source.name
+        workload._pairs = None
+        workload._counts = None
+        workload._source = source
+        workload.left_table = source.left_table
+        workload.right_table = source.right_table
+        return workload
+
+    @property
+    def source(self):
+        """The backing :class:`~repro.data.sources.PairSource` of a lazy view, or ``None``."""
+        return self._source
+
+    @property
+    def pairs(self) -> list[RecordPair]:
+        """The candidate pairs, materialising a source-backed view on first use.
+
+        Materialisation goes through the source's :meth:`materialize` hook so
+        its guards apply — an unbounded ``GeneratorSource`` raises instead of
+        looping forever.
+        """
+        if self._pairs is None:
+            self._pairs = self._source.materialize(self.name).pairs
+        return self._pairs
+
+    @pairs.setter
+    def pairs(self, value: Iterable[RecordPair]) -> None:
+        self._pairs = list(value)
+        self._counts: tuple[int, int] | None = None
+
+    @property
+    def is_materialized(self) -> bool:
+        """``False`` while a source-backed view has not been materialised yet."""
+        return self._pairs is not None
+
+    def iter_chunks(self, chunk_size: int = 1024) -> Iterator[list[RecordPair]]:
+        """Stream the pairs in lists of at most ``chunk_size``.
+
+        A source-backed view streams straight from its source without
+        materialising; an eager workload slices its pair list.  Chunks are
+        never empty; only the last one may be partial.
+        """
+        if chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        if self._pairs is None:
+            yield from self._source.iter_chunks(chunk_size)
+            return
+        for start in range(0, len(self._pairs), chunk_size):
+            yield self._pairs[start:start + chunk_size]
+
     def __len__(self) -> int:
+        if self._pairs is None:
+            length = self._source.length
+            if length is not None:
+                return length
         return len(self.pairs)
 
     def __iter__(self) -> Iterator[RecordPair]:
@@ -54,10 +125,27 @@ class Workload:
     def __getitem__(self, index: int) -> RecordPair:
         return self.pairs[index]
 
+    def _count_labels(self) -> tuple[int, int]:
+        """The cached ``(matches, unmatches)`` counts, computed in one scan."""
+        if self._counts is None:
+            matches = unmatches = 0
+            for pair in self.pairs:
+                if pair.ground_truth == MATCH:
+                    matches += 1
+                elif pair.ground_truth is not None:
+                    unmatches += 1
+            self._counts = (matches, unmatches)
+        return self._counts
+
     @property
     def num_matches(self) -> int:
-        """Number of ground-truth equivalent pairs in the workload."""
-        return sum(1 for pair in self.pairs if pair.ground_truth == MATCH)
+        """Number of ground-truth equivalent pairs in the workload (cached)."""
+        return self._count_labels()[0]
+
+    @property
+    def num_unmatches(self) -> int:
+        """Number of ground-truth inequivalent pairs in the workload (cached)."""
+        return self._count_labels()[1]
 
     @property
     def num_attributes(self) -> int:

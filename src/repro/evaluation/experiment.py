@@ -40,6 +40,7 @@ from ..features.metric_registry import SIMILARITY
 from ..data.datasets import load_dataset
 from ..data.records import Record, RecordPair, Table
 from ..data.schema import Schema
+from ..data.sources import PairSource, as_workload
 from ..data.workload import Workload, split_workload
 from ..exceptions import ConfigurationError, DataError
 from ..features.vectorizer import PairVectorizer
@@ -187,8 +188,20 @@ def _label_split(split: LabeledSplit, classifier: BaseClassifier) -> None:
     split.machine_labels = (probabilities >= 0.5).astype(int)
 
 
+def _resolve_workload(dataset: "str | Workload | PairSource", scale: float = 1.0) -> Workload:
+    """Accept a dataset name, a workload, or a (bounded) pair source.
+
+    Sources are materialised here: the experiment protocol needs random access
+    for splitting, so this is the boundary where a streamed corpus becomes an
+    in-memory workload.
+    """
+    if isinstance(dataset, str):
+        return load_dataset(dataset, scale=scale)
+    return as_workload(dataset)
+
+
 def prepare_experiment(
-    workload: Workload,
+    workload: Workload | PairSource,
     ratio: tuple[float, float, float] = (3, 2, 5),
     classifier: BaseClassifier | str | dict | None = None,
     tree_config: OneSidedTreeConfig | None = None,
@@ -196,7 +209,13 @@ def prepare_experiment(
     classifier_metric_kind: str | None = SIMILARITY,
     seed: int = 0,
 ) -> PreparedExperiment:
-    """Split a workload, train the classifier and generate shared risk features."""
+    """Split a workload, train the classifier and generate shared risk features.
+
+    ``workload`` may also be a bounded :class:`~repro.data.sources.PairSource`
+    (e.g. a :class:`~repro.data.sources.CsvPairSource` over an exported
+    corpus), which is materialised for splitting.
+    """
+    workload = as_workload(workload)
     if workload.left_table is None and vectorizer is None:
         raise DataError("workload has no source tables and no vectorizer was supplied")
     split = split_workload(workload, ratio=ratio, seed=seed)
@@ -279,7 +298,7 @@ def evaluate_scorers(
 
 
 def run_comparative_experiment(
-    dataset: str | Workload,
+    dataset: str | Workload | PairSource,
     ratio: tuple[float, float, float] = (3, 2, 5),
     scale: float = 1.0,
     scorers: Sequence[BaseRiskScorer] | None = None,
@@ -288,7 +307,7 @@ def run_comparative_experiment(
     seed: int = 0,
 ) -> ExperimentResult:
     """One panel of Figure 9: a dataset, a split ratio, all five approaches."""
-    workload = dataset if isinstance(dataset, Workload) else load_dataset(dataset, scale=scale)
+    workload = _resolve_workload(dataset, scale)
     prepared = prepare_experiment(
         workload, ratio=ratio, classifier=classifier, tree_config=tree_config, seed=seed
     )
@@ -358,8 +377,8 @@ def harmonise_for_ood(
 
 
 def run_ood_experiment(
-    source_dataset: str | Workload,
-    target_dataset: str | Workload,
+    source_dataset: str | Workload | PairSource,
+    target_dataset: str | Workload | PairSource,
     scale: float = 1.0,
     target_ratio: tuple[float, float, float] = (0, 3, 7),
     rename_source: dict[str, str] | None = None,
@@ -375,8 +394,8 @@ def run_ood_experiment(
     training part; the risk-training (validation) and test data come from the
     *target* workload, mirroring the paper's DA2DS and AB2AG settings.
     """
-    source = source_dataset if isinstance(source_dataset, Workload) else load_dataset(source_dataset, scale=scale)
-    target = target_dataset if isinstance(target_dataset, Workload) else load_dataset(target_dataset, scale=scale)
+    source = _resolve_workload(source_dataset, scale)
+    target = _resolve_workload(target_dataset, scale)
     source, target, schema = harmonise_for_ood(source, target, rename_source)
 
     vectorizer = PairVectorizer(schema)
@@ -427,7 +446,7 @@ def run_ood_experiment(
 
 # ---------------------------------------------------------------- HoloClean study
 def run_holoclean_comparison(
-    dataset: str | Workload,
+    dataset: str | Workload | PairSource,
     scale: float = 1.0,
     ratio: tuple[float, float, float] = (3, 2, 5),
     subset_size: int = 1000,
@@ -440,7 +459,7 @@ def run_holoclean_comparison(
     Returns the mean AUROC of each approach over ``n_subsets`` random subsets
     of the test part (each of ``subset_size`` pairs, capped at the test size).
     """
-    workload = dataset if isinstance(dataset, Workload) else load_dataset(dataset, scale=scale)
+    workload = _resolve_workload(dataset, scale)
     prepared = prepare_experiment(workload, ratio=ratio, tree_config=tree_config, seed=seed)
     context = prepared.context()
 
@@ -472,7 +491,7 @@ def run_holoclean_comparison(
 
 # -------------------------------------------------------------------- sensitivity
 def run_sensitivity_experiment(
-    dataset: str | Workload,
+    dataset: str | Workload | PairSource,
     risk_training_sizes: Sequence[float | int],
     selection: str = "random",
     scale: float = 1.0,
@@ -490,7 +509,7 @@ def run_sensitivity_experiment(
     """
     if selection not in {"random", "active"}:
         raise ConfigurationError("selection must be 'random' or 'active'")
-    workload = dataset if isinstance(dataset, Workload) else load_dataset(dataset, scale=scale)
+    workload = _resolve_workload(dataset, scale)
     prepared = prepare_experiment(workload, ratio=(3, 2, 5), tree_config=tree_config, seed=seed)
     validation = prepared.validation
     test = prepared.test
@@ -531,7 +550,7 @@ def run_sensitivity_experiment(
 
 # -------------------------------------------------------------------- scalability
 def run_scalability_experiment(
-    dataset: str | Workload,
+    dataset: str | Workload | PairSource,
     training_sizes: Sequence[int],
     risk_training_sizes: Sequence[int],
     scale: float = 1.0,
@@ -544,7 +563,7 @@ def run_scalability_experiment(
     Returns ``{"rule_generation": {size: seconds}, "risk_training": {size: seconds}}``.
     Sizes larger than the available data are clipped to what is available.
     """
-    workload = dataset if isinstance(dataset, Workload) else load_dataset(dataset, scale=scale)
+    workload = _resolve_workload(dataset, scale)
     prepared = prepare_experiment(workload, ratio=(3, 2, 5), tree_config=tree_config, seed=seed)
     generator = RiskFeatureGenerator(tree_config=tree_config)
 

@@ -1,0 +1,33 @@
+"""Batch-invariant numeric kernels for the streaming scoring paths.
+
+BLAS gemm/gemv reassociate their reductions depending on the operand shapes
+(kernel selection, threading, register blocking), so ``A @ w`` over a chunk of
+rows can differ from the same rows inside a larger matrix by 1 ulp.  That is
+invisible in eager scoring but breaks the contract of the streaming stack:
+``analyse_batches`` over a :class:`~repro.data.sources.PairSource` must be
+*bit-identical* to the eager in-memory path at any chunk size.
+
+``np.einsum`` (without ``optimize``) reduces strictly along the contraction
+axis per output element, so its result depends only on the reduced extent —
+never on the batch dimension.  Every per-row matrix product on the scoring hot
+path (classifier forward pass, portfolio aggregation) goes through these
+helpers; training keeps plain BLAS matmuls, where raw throughput matters and
+batch invariance does not.
+
+This module deliberately depends only on numpy so any layer can use it without
+import cycles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def batch_invariant_matvec(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+    """``matrix @ vector`` with a batch-size-independent summation order."""
+    return np.einsum("ij,j->i", matrix, vector)
+
+
+def batch_invariant_matmul(matrix: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """``matrix @ weights`` with a batch-size-independent summation order."""
+    return np.einsum("ij,jk->ik", matrix, weights)

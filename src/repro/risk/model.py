@@ -37,6 +37,7 @@ from ..serialization import (
 )
 from .feature_generation import GeneratedRiskFeatures
 from .metrics import resolve_risk_metric
+from ..numerics import batch_invariant_matvec
 from .portfolio import PortfolioDistribution, aggregate_portfolio, feature_contributions
 from .training import (
     RiskModelTrainer,
@@ -202,7 +203,9 @@ class LearnRiskModel:
         rule_means = self.rule_expectations
         rule_stds = self.rule_rsds * rule_means if len(rule_means) else np.array([])
         output_bins = output_bin_matrix(machine_probabilities, self.n_output_bins)
-        output_rsd = output_bins @ self.output_rsds
+        # Batch-invariant matvec (repro.numerics): streamed chunked scoring
+        # must be bit-identical to the eager path at any chunk size.
+        output_rsd = batch_invariant_matvec(output_bins, self.output_rsds)
         return aggregate_portfolio(
             membership,
             self.rule_weights,

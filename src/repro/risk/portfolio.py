@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..numerics import batch_invariant_matvec as _matvec
 from .engine import PackedMembership
 
 _MINIMUM_TOTAL_WEIGHT = 1e-12
@@ -92,13 +93,13 @@ def aggregate_portfolio(
         for start in range(0, n_pairs, _PACKED_CHUNK_ROWS):
             stop = min(start + _PACKED_CHUNK_ROWS, n_pairs)
             chunk = PackedMembership(membership.bits[start:stop], n_rules).unpack(float)
-            total_weight[start:stop] = chunk @ rule_weights
-            weighted_mean[start:stop] = chunk @ mean_weights
-            weighted_variance[start:stop] = chunk @ variance_weights
+            total_weight[start:stop] = _matvec(chunk, rule_weights)
+            weighted_mean[start:stop] = _matvec(chunk, mean_weights)
+            weighted_variance[start:stop] = _matvec(chunk, variance_weights)
     else:
-        total_weight = membership @ rule_weights
-        weighted_mean = membership @ mean_weights
-        weighted_variance = membership @ variance_weights
+        total_weight = _matvec(membership, rule_weights)
+        weighted_mean = _matvec(membership, mean_weights)
+        weighted_variance = _matvec(membership, variance_weights)
 
     has_output = output_weights is not None
     if has_output:

@@ -15,6 +15,12 @@ Three subcommands cover the model lifecycle:
     Load a saved pipeline, score a workload through :class:`RiskService`
     (micro-batched, cached) and print serving statistics; ``--output`` writes
     one CSV row per pair with probability, machine label and risk score.
+    With ``--chunk-size N`` the workload is *streamed*: candidate pairs are
+    pulled from a :class:`~repro.data.sources.PairSource` ``N`` at a time and
+    scored rows are written as they are produced, so a CSV workload of any
+    size scores in memory bounded by the chunk (``--input pairs.csv``
+    optionally points at a specific candidate-pair file in the data
+    directory).
 ``inspect``
     Print a saved model's manifest and risk-model summary without scoring.
 
@@ -49,6 +55,7 @@ from ..compose import (
 from ..data import load_dataset, split_workload
 from ..data.io import import_workload
 from ..data.schema import Schema
+from ..data.sources import CsvPairSource, InMemorySource, PairSource
 from ..data.workload import Workload
 from ..evaluation.roc import auroc_score, mislabel_indicator
 from ..exceptions import ReproError
@@ -80,6 +87,18 @@ def _load_workload(args: argparse.Namespace, schema: Schema | None = None) -> Wo
             schema = _load_schema(args.schema)
         return import_workload(args.data_dir, args.name, schema)
     raise SystemExit("provide either --dataset or --data-dir")
+
+
+#: Header of the scored-pair CSV written by ``score`` (both modes), the
+#: streaming benchmark and any other writer that must stay byte-compatible.
+SCORED_CSV_HEADER = ("left_id", "right_id", "probability", "machine_label", "risk_score")
+
+
+def scored_csv_row(scored) -> list:
+    """One scored pair as a CSV row (``repr`` floats: round-trip exact)."""
+    left_id, right_id = scored.pair.pair_id
+    return [left_id, right_id, repr(scored.probability),
+            scored.machine_label, repr(scored.risk_score)]
 
 
 def _positive_int(text: str) -> int:
@@ -131,8 +150,90 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_source(args: argparse.Namespace, schema: Schema) -> PairSource:
+    """The streaming counterpart of :func:`_load_workload`.
+
+    Backend flags resolve in the same priority order as the eager path
+    (``--dataset`` first, then ``--data-dir``), so adding ``--chunk-size`` to
+    an existing command never changes *which* workload is scored.
+    """
+    if args.dataset:
+        if getattr(args, "input", None):
+            raise SystemExit("--input requires --data-dir (the record tables live there)")
+        return InMemorySource(load_dataset(args.dataset, scale=args.scale))
+    if args.data_dir:
+        return CsvPairSource(
+            args.data_dir, args.name, schema, pairs_path=getattr(args, "input", None)
+        )
+    if getattr(args, "input", None):
+        raise SystemExit("--input requires --data-dir (the record tables live there)")
+    raise SystemExit("provide either --dataset or --data-dir")
+
+
+def _cmd_score_streaming(args: argparse.Namespace, pipeline) -> int:
+    """Chunked scoring: bounded memory, scored rows written as they stream."""
+    source = _load_source(args, pipeline.vectorizer.schema)
+    service = RiskService(
+        pipeline, max_batch_size=args.batch_size, cache_size=args.cache_size
+    )
+    if args.repeat > 1:
+        print("note: --repeat is ignored in streaming mode (one pass per run)")
+
+    writer = None
+    handle = None
+    output = Path(args.output) if args.output else None
+    if output is not None:
+        output.parent.mkdir(parents=True, exist_ok=True)
+        handle = output.open("w", newline="")
+        writer = csv.writer(handle)
+        writer.writerow(SCORED_CSV_HEADER)
+
+    # Per-pair scalars only: enough for the final AUROC line without ever
+    # holding the RecordPair objects or metric vectors of the whole stream.
+    count = 0
+    machine_labels: list[int] = []
+    risk_scores: list[float] = []
+    ground_truth: list[int] = []
+    labeled = True
+    try:
+        for scored in service.score_source(source, chunk_size=args.chunk_size):
+            count += 1
+            if writer is not None:
+                writer.writerow(scored_csv_row(scored))
+            if scored.pair.ground_truth is None:
+                labeled = False
+            elif labeled:
+                machine_labels.append(scored.machine_label)
+                risk_scores.append(scored.risk_score)
+                ground_truth.append(scored.pair.ground_truth)
+    finally:
+        if handle is not None:
+            handle.close()
+    if output is not None:
+        print(f"wrote {count} scored pairs to {output}")
+
+    stats = service.stats.snapshot()
+    print(f"scored {count} pairs from {source.name} (streamed, chunk size {args.chunk_size})")
+    print(
+        f"  throughput: {stats['pairs_per_second']:.1f} pairs/s over "
+        f"{int(stats['batches'])} batches (mean batch {stats['mean_batch_size']:.1f})"
+    )
+    if labeled and count > 0:
+        risk_labels = mislabel_indicator(
+            np.asarray(machine_labels, dtype=int), np.asarray(ground_truth, dtype=int)
+        )
+        if 0 < risk_labels.sum() < len(risk_labels):
+            auroc = auroc_score(risk_labels, np.asarray(risk_scores, dtype=float))
+            print(f"  risk ranking AUROC: {auroc:.4f}")
+    return 0
+
+
 def _cmd_score(args: argparse.Namespace) -> int:
     pipeline = load_pipeline(args.model)
+    if args.chunk_size:
+        return _cmd_score_streaming(args, pipeline)
+    if args.input:
+        raise SystemExit("--input requires --chunk-size (it selects the streamed pair file)")
     workload = _load_workload(args, schema=pipeline.vectorizer.schema)
     service = RiskService(
         pipeline, max_batch_size=args.batch_size, cache_size=args.cache_size
@@ -146,13 +247,9 @@ def _cmd_score(args: argparse.Namespace) -> int:
         output.parent.mkdir(parents=True, exist_ok=True)
         with output.open("w", newline="") as handle:
             writer = csv.writer(handle)
-            writer.writerow(["left_id", "right_id", "probability", "machine_label", "risk_score"])
+            writer.writerow(SCORED_CSV_HEADER)
             for scored in results:
-                left_id, right_id = scored.pair.pair_id
-                writer.writerow([
-                    left_id, right_id, repr(scored.probability),
-                    scored.machine_label, repr(scored.risk_score),
-                ])
+                writer.writerow(scored_csv_row(scored))
         print(f"wrote {len(results)} scored pairs to {output}")
 
     stats = service.stats.snapshot()
@@ -242,6 +339,12 @@ def build_parser() -> argparse.ArgumentParser:
     score.add_argument("--cache-size", type=int, default=4096)
     score.add_argument("--repeat", type=_positive_int, default=1,
                        help="score the workload this many times (cache warm-up)")
+    score.add_argument("--chunk-size", type=_positive_int, default=None,
+                       help="stream the workload in chunks of this many pairs "
+                            "(bounded-memory mode; rows are written as they score)")
+    score.add_argument("--input",
+                       help="candidate-pair CSV streamed instead of <name>_pairs.csv "
+                            "(requires --data-dir and --chunk-size)")
     score.set_defaults(handler=_cmd_score)
 
     inspect = subparsers.add_parser("inspect", help="describe a saved model")

@@ -31,12 +31,13 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
 from ..compose.staged import StagedPipeline
 from ..data.records import RecordPair
+from ..data.sources import PairSource
 from ..data.workload import Workload
 from ..exceptions import ConfigurationError, NotFittedError
 
@@ -278,8 +279,34 @@ class RiskService:
         """Risk scores only, as an array aligned with ``pairs``."""
         return np.array([scored.risk_score for scored in self.score_pairs(pairs)], dtype=float)
 
-    def score_workload(self, workload: Workload) -> list[ScoredPair]:
-        """Score every pair of a workload through the serving path."""
+    def score_source(
+        self, source: PairSource | Workload, chunk_size: int | None = None
+    ) -> Iterator[ScoredPair]:
+        """Stream scored pairs from a source without materialising it.
+
+        This is the out-of-core serving path: pairs are pulled from the
+        source ``chunk_size`` at a time (defaults to ``max_batch_size``),
+        scored in micro-batches, and yielded one by one, so peak memory is
+        one chunk regardless of the source size — including unbounded
+        :class:`~repro.data.sources.GeneratorSource` streams, which this
+        generator consumes lazily.
+        """
+        if chunk_size is None:
+            chunk_size = self.max_batch_size
+        if chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
+        for chunk in source.iter_chunks(chunk_size):
+            # Chunks larger than the micro-batch size are split so batch
+            # statistics keep their meaning and the lock is never held long.
+            for start in range(0, len(chunk), self.max_batch_size):
+                with self._lock:
+                    scored = self._score_batch(chunk[start:start + self.max_batch_size])
+                yield from scored
+
+    def score_workload(self, workload: Workload | PairSource) -> list[ScoredPair]:
+        """Score every pair of a workload (or bounded source) through the serving path."""
+        if isinstance(workload, PairSource):
+            return list(self.score_source(workload))
         return self.score_pairs(workload.pairs)
 
     # --------------------------------------------------------- micro-batching

@@ -61,6 +61,23 @@ class TestTokenBlocker:
         with pytest.raises(ConfigurationError):
             TokenBlocker(["name"], max_token_frequency=0.0)
 
+    def test_output_deterministically_sorted(self, product_tables):
+        left, right = product_tables
+        blocker = TokenBlocker(["name"], min_shared=1, max_token_frequency=1.0)
+        pairs = blocker.block(left, right)
+        assert isinstance(pairs, list)
+        assert pairs == sorted(pairs)
+        assert pairs == blocker.block(left, right)
+
+    def test_deterministic_on_generated_workload(self, ds_workload):
+        # The candidate order must not depend on set/hash iteration order:
+        # repeated runs in the same process (different hash values for fresh
+        # string objects) must agree exactly.
+        blocker = TokenBlocker(["title"], min_shared=2, max_token_frequency=0.3)
+        first = blocker.block(ds_workload.left_table, ds_workload.right_table)
+        second = blocker.block(ds_workload.left_table, ds_workload.right_table)
+        assert first == second == sorted(first)
+
 
 class TestSortedNeighbourhoodBlocker:
     def test_window_pairs_nearby_records(self, product_tables):
@@ -69,6 +86,14 @@ class TestSortedNeighbourhoodBlocker:
         pairs = blocker.block(left, right)
         assert all(left_id.startswith("l") and right_id.startswith("r") for left_id, right_id in pairs)
         assert len(pairs) > 0
+
+    def test_output_deterministically_sorted(self, product_tables):
+        left, right = product_tables
+        blocker = SortedNeighbourhoodBlocker(key=lambda record: record["name"] or "", window=3)
+        pairs = blocker.block(left, right)
+        assert isinstance(pairs, list)
+        assert pairs == sorted(pairs)
+        assert pairs == blocker.block(left, right)
 
     def test_invalid_window(self):
         with pytest.raises(ConfigurationError):

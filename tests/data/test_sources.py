@@ -1,0 +1,287 @@
+"""Tests of the streaming pair-source backends (repro.data.sources)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.data import export_workload, import_workload
+from repro.data.generators import GenerationConfig
+from repro.data.sources import (
+    CsvPairSource,
+    GeneratorSource,
+    InMemorySource,
+    PairSource,
+    ShardedSource,
+    as_pair_source,
+    as_workload,
+    chunked,
+)
+from repro.data.workload import Workload
+from repro.exceptions import ConfigurationError, DataError
+
+
+def pair_ids(pairs):
+    return [pair.pair_id for pair in pairs]
+
+
+def flatten(chunks):
+    return [pair for chunk in chunks for pair in chunk]
+
+
+class TestChunked:
+    def test_trailing_partial_chunk(self, ds_workload):
+        chunks = list(chunked(iter(ds_workload.pairs[:10]), 4))
+        assert [len(chunk) for chunk in chunks] == [4, 4, 2]
+
+    def test_exact_multiple_has_no_empty_tail(self, ds_workload):
+        chunks = list(chunked(iter(ds_workload.pairs[:8]), 4))
+        assert [len(chunk) for chunk in chunks] == [4, 4]
+
+    def test_empty_iterable_yields_nothing(self):
+        assert list(chunked(iter(()), 4)) == []
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ConfigurationError):
+            list(chunked(iter(()), 0))
+
+
+class TestInMemorySource:
+    def test_preserves_workload_order_and_identity(self, ds_workload):
+        source = InMemorySource(ds_workload)
+        assert source.name == ds_workload.name
+        assert source.length == len(ds_workload)
+        assert len(source) == len(ds_workload)
+        assert pair_ids(flatten(source.iter_chunks(97))) == pair_ids(ds_workload.pairs)
+
+    def test_chunks_never_empty_and_respect_size(self, ds_workload):
+        chunks = list(InMemorySource(ds_workload).iter_chunks(100))
+        assert all(0 < len(chunk) <= 100 for chunk in chunks)
+        assert all(len(chunk) == 100 for chunk in chunks[:-1])
+
+    def test_reiterable(self, ds_workload):
+        source = InMemorySource(ds_workload)
+        first = pair_ids(flatten(source.iter_chunks(64)))
+        second = pair_ids(flatten(source.iter_chunks(64)))
+        assert first == second
+
+    def test_wraps_plain_sequence(self, ds_workload):
+        source = InMemorySource(ds_workload.pairs[:7], name="slice")
+        assert source.name == "slice"
+        assert source.length == 7
+        assert source.left_table is None
+
+    def test_labeled_metadata(self, ds_workload):
+        assert InMemorySource(ds_workload).labeled is True
+
+    def test_materialize_returns_wrapped_workload(self, ds_workload):
+        source = InMemorySource(ds_workload)
+        assert source.materialize() is ds_workload
+        renamed = source.materialize(name="other")
+        assert renamed is not ds_workload
+        assert renamed.name == "other"
+
+
+class TestCsvPairSource:
+    @pytest.fixture(scope="class")
+    def csv_dir(self, ds_workload, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("csv-source")
+        export_workload(ds_workload, directory)
+        return directory
+
+    def test_parity_with_import_workload(self, csv_dir, ds_workload):
+        schema = ds_workload.left_table.schema
+        eager = import_workload(csv_dir, ds_workload.name, schema)
+        source = CsvPairSource(csv_dir, ds_workload.name, schema)
+        streamed = flatten(source.iter_chunks(83))
+        assert pair_ids(streamed) == pair_ids(eager.pairs)
+        assert [p.ground_truth for p in streamed] == [p.ground_truth for p in eager.pairs]
+
+    def test_schema_from_mapping_and_file(self, csv_dir, ds_workload, tmp_path):
+        schema = ds_workload.left_table.schema
+        from_mapping = CsvPairSource(csv_dir, ds_workload.name, schema.to_dict())
+        assert from_mapping.schema == schema
+        schema_file = tmp_path / "schema.json"
+        import json
+
+        schema_file.write_text(json.dumps(schema.to_dict()))
+        from_file = CsvPairSource(csv_dir, ds_workload.name, str(schema_file))
+        assert from_file.schema == schema
+
+    def test_explicit_pairs_path(self, csv_dir, ds_workload):
+        schema = ds_workload.left_table.schema
+        source = CsvPairSource(
+            csv_dir, ds_workload.name, schema,
+            pairs_path=csv_dir / f"{ds_workload.name}_matches.csv",
+        )
+        streamed = flatten(source.iter_chunks(50))
+        assert len(streamed) == ds_workload.num_matches
+        assert all(pair.ground_truth == 1 for pair in streamed)
+
+    def test_missing_pairs_path_raises(self, csv_dir, ds_workload):
+        with pytest.raises(DataError):
+            CsvPairSource(
+                csv_dir, ds_workload.name, ds_workload.left_table.schema,
+                pairs_path=csv_dir / "absent.csv",
+            )
+
+    def test_tables_exposed_for_provenance(self, csv_dir, ds_workload):
+        source = CsvPairSource(csv_dir, ds_workload.name, ds_workload.left_table.schema)
+        assert len(source.left_table) == len(ds_workload.left_table)
+        assert source.labeled is True
+
+
+class TestGeneratorSource:
+    def test_bounded_stream_is_deterministic(self):
+        config = GenerationConfig(n_base_entities=30, seed=0)
+        first = GeneratorSource("bibliographic", config=config, max_pairs=120, seed=5)
+        second = GeneratorSource("bibliographic", config=config, max_pairs=120, seed=5)
+        ids_a = pair_ids(flatten(first.iter_chunks(50)))
+        ids_b = pair_ids(flatten(second.iter_chunks(50)))
+        assert ids_a == ids_b
+        assert len(ids_a) == 120
+        assert first.length == 120
+
+    def test_unbounded_stream_keeps_producing(self):
+        config = GenerationConfig(n_base_entities=30, seed=0)
+        source = GeneratorSource("song", config=config, seed=1)
+        assert source.length is None
+        taken = list(itertools.islice(iter(source), 2500))
+        assert len(taken) == 2500
+
+    def test_waves_have_distinct_record_identities(self):
+        config = GenerationConfig(n_base_entities=30, seed=0)
+        source = GeneratorSource("product", config=config, max_pairs=5000, seed=2)
+        seen_sources = {pair.left.source for pair in source}
+        assert len(seen_sources) > 1  # more than one wave was generated
+        keys = [
+            (pair.left.source, pair.left.record_id, pair.right.source, pair.right.record_id)
+            for pair in source
+        ]
+        assert len(keys) == len(set(keys))
+
+    def test_unbounded_materialize_refuses(self):
+        source = GeneratorSource("bibliographic", max_pairs=None)
+        with pytest.raises(ConfigurationError):
+            source.materialize()
+
+    def test_invalid_max_pairs(self):
+        with pytest.raises(ConfigurationError):
+            GeneratorSource("bibliographic", max_pairs=0)
+
+
+class TestShardedSource:
+    def test_concat_repacks_across_shard_boundaries(self, ds_workload):
+        left = InMemorySource(ds_workload.pairs[:130], name="a")
+        right = InMemorySource(ds_workload.pairs[130:], name="b")
+        sharded = ShardedSource([left, right])
+        chunks = list(sharded.iter_chunks(100))
+        assert pair_ids(flatten(chunks)) == pair_ids(ds_workload.pairs)
+        # Full chunks everywhere except (at most) the tail, despite the
+        # 130-pair shard boundary.
+        assert all(len(chunk) == 100 for chunk in chunks[:-1])
+        assert sharded.length == len(ds_workload)
+        assert sharded.name == "a+b"
+
+    def test_interleave_round_robins_chunks(self, ds_workload):
+        left = InMemorySource(ds_workload.pairs[:60], name="a")
+        right = InMemorySource(ds_workload.pairs[60:90], name="b")
+        sharded = ShardedSource([left, right], interleave=True)
+        chunks = list(sharded.iter_chunks(20))
+        # a yields 3 chunks, b yields 2; round-robin order a,b,a,b,a.
+        origins = [chunk[0].pair_id for chunk in chunks]
+        expected = [
+            ds_workload.pairs[0].pair_id, ds_workload.pairs[60].pair_id,
+            ds_workload.pairs[20].pair_id, ds_workload.pairs[80].pair_id,
+            ds_workload.pairs[40].pair_id,
+        ]
+        assert origins == expected
+        assert sorted(pair_ids(flatten(chunks))) == sorted(pair_ids(ds_workload.pairs[:90]))
+
+    def test_interleave_survives_empty_chunks_from_a_child(self, ds_workload):
+        class EmptyChunkSource(InMemorySource):
+            def iter_chunks(self, chunk_size=1024):
+                yield []  # an empty chunk is not exhaustion
+                yield from super().iter_chunks(chunk_size)
+
+        left = EmptyChunkSource(ds_workload.pairs[:40], name="a")
+        right = InMemorySource(ds_workload.pairs[40:60], name="b")
+        sharded = ShardedSource([left, right], interleave=True)
+        streamed = flatten(sharded.iter_chunks(10))
+        assert sorted(pair_ids(streamed)) == sorted(pair_ids(ds_workload.pairs[:60]))
+
+    def test_length_unknown_when_any_child_unknown(self):
+        bounded = InMemorySource([], name="empty")
+        unbounded = GeneratorSource("bibliographic", max_pairs=None)
+        assert ShardedSource([bounded, unbounded]).length is None
+
+    def test_labeled_combines_children(self, ds_workload):
+        labeled = InMemorySource(ds_workload.pairs[:5])
+        assert ShardedSource([labeled, labeled]).labeled is True
+
+    def test_rejects_empty_or_non_sources(self):
+        with pytest.raises(ConfigurationError):
+            ShardedSource([])
+        with pytest.raises(ConfigurationError):
+            ShardedSource([object()])  # type: ignore[list-item]
+
+
+class TestCoercionAndLazyWorkload:
+    def test_as_pair_source_passthrough_and_wrap(self, ds_workload):
+        source = InMemorySource(ds_workload)
+        assert as_pair_source(source) is source
+        wrapped = as_pair_source(ds_workload)
+        assert isinstance(wrapped, PairSource)
+        assert wrapped.length == len(ds_workload)
+
+    def test_as_workload_roundtrip_is_free(self, ds_workload):
+        assert as_workload(ds_workload) is ds_workload
+        assert as_workload(InMemorySource(ds_workload)) is ds_workload
+
+    def test_as_workload_rejects_other_types(self):
+        with pytest.raises(ConfigurationError):
+            as_workload([1, 2, 3])  # type: ignore[arg-type]
+
+    def test_from_source_is_lazy(self, ds_workload):
+        calls = []
+
+        class CountingSource(InMemorySource):
+            def iter_chunks(self, chunk_size=1024):
+                calls.append(chunk_size)
+                return super().iter_chunks(chunk_size)
+
+        source = CountingSource(ds_workload)
+        lazy = Workload.from_source(source)
+        assert not lazy.is_materialized
+        # Known length and chunked iteration never materialise.
+        assert len(lazy) == len(ds_workload)
+        chunk = next(iter(lazy.iter_chunks(32)))
+        assert len(chunk) == 32
+        assert not lazy.is_materialized
+        # Random access materialises exactly once.
+        assert lazy[0].pair_id == ds_workload.pairs[0].pair_id
+        assert lazy.is_materialized
+        materialising_calls = len(calls)
+        assert lazy.num_matches == ds_workload.num_matches
+        assert len(calls) == materialising_calls
+
+    def test_from_source_carries_tables_and_name(self, ds_workload):
+        lazy = Workload.from_source(InMemorySource(ds_workload))
+        assert lazy.name == ds_workload.name
+        assert lazy.left_table is ds_workload.left_table
+        named = Workload.from_source(InMemorySource(ds_workload), name="renamed")
+        assert named.name == "renamed"
+
+    def test_as_pair_source_unwraps_lazy_view(self, ds_workload):
+        source = InMemorySource(ds_workload)
+        lazy = Workload.from_source(source)
+        assert as_pair_source(lazy) is source  # stays out-of-core
+        assert not lazy.is_materialized
+        lazy.pairs  # materialise; now it is just an eager workload
+        assert isinstance(as_pair_source(lazy), InMemorySource)
+
+    def test_lazy_view_over_unbounded_source_refuses_to_materialise(self):
+        lazy = Workload.from_source(GeneratorSource("bibliographic", max_pairs=None))
+        with pytest.raises(ConfigurationError, match="unbounded"):
+            lazy.pairs  # must raise, not loop forever

@@ -43,6 +43,42 @@ class TestWorkloadBasics:
             tiny_workload.sample(len(tiny_workload) + 1)
 
 
+class TestCachedLabelCounts:
+    def test_num_matches_and_unmatches(self, ds_workload):
+        by_scan = sum(1 for pair in ds_workload.pairs if pair.ground_truth == MATCH)
+        assert ds_workload.num_matches == by_scan
+        assert ds_workload.num_unmatches == len(ds_workload) - by_scan
+
+    def test_counts_are_cached_not_rescanned(self, tiny_workload):
+        from repro.data.workload import Workload
+
+        workload = Workload(tiny_workload.name, tiny_workload.pairs)
+        assert workload.num_matches == tiny_workload.num_matches
+        # The cache holds the counts; even tampering with the underlying list
+        # does not trigger a rescan (pairs are treated as immutable content).
+        workload.pairs.clear()
+        assert workload.num_matches == tiny_workload.num_matches
+
+    def test_reassigning_pairs_invalidates_cache(self, tiny_workload):
+        from repro.data.workload import Workload
+
+        workload = Workload(tiny_workload.name, tiny_workload.pairs)
+        assert workload.num_matches > 0
+        workload.pairs = [pair for pair in tiny_workload.pairs if pair.ground_truth != MATCH]
+        assert workload.num_matches == 0
+        assert workload.num_unmatches == len(workload)
+
+    def test_unlabeled_pairs_count_in_neither_bucket(self, paper_pair):
+        from dataclasses import replace
+
+        from repro.data.workload import Workload
+
+        unlabeled = replace(paper_pair, ground_truth=None)
+        workload = Workload("mixed", [paper_pair, unlabeled])
+        assert workload.num_matches == 1
+        assert workload.num_unmatches == 0
+
+
 class TestSplitWorkload:
     def test_partition_is_complete_and_disjoint(self, ds_workload):
         split = split_workload(ds_workload, ratio=(3, 2, 5), seed=0)
