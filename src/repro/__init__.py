@@ -53,9 +53,11 @@ from .evaluation import (
     run_comparative_experiment,
     run_holoclean_comparison,
     run_ood_experiment,
+    run_parallel_scaling_experiment,
     run_scalability_experiment,
     run_sensitivity_experiment,
 )
+from .parallel import ChunkScores, ExecutionConfig, ParallelScoringEngine
 from .pipeline import LearnRiskPipeline, RiskReport
 from .risk import (
     GeneratedRiskFeatures,
@@ -76,7 +78,9 @@ __version__ = "1.2.0"
 
 __all__ = [
     "ComponentSpec",
+    "ChunkScores",
     "CsvPairSource",
+    "ExecutionConfig",
     "GeneratedRiskFeatures",
     "GeneratorSource",
     "InMemorySource",
@@ -86,6 +90,7 @@ __all__ = [
     "ModelRegistry",
     "OneSidedTreeConfig",
     "PairSource",
+    "ParallelScoringEngine",
     "PipelineSpec",
     "Record",
     "RecordPair",
@@ -115,6 +120,7 @@ __all__ = [
     "run_comparative_experiment",
     "run_holoclean_comparison",
     "run_ood_experiment",
+    "run_parallel_scaling_experiment",
     "run_scalability_experiment",
     "run_sensitivity_experiment",
     "save_pipeline",

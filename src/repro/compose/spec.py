@@ -30,6 +30,7 @@ from typing import Any, Mapping
 
 from ..classifiers.base import BaseClassifier
 from ..exceptions import ConfigurationError
+from ..parallel.config import ExecutionConfig
 from ..risk.training import TrainingConfig
 from ..serialization import dataclass_from_dict
 from .registries import (
@@ -138,7 +139,7 @@ def component_spec_for_classifier(classifier: BaseClassifier) -> ComponentSpec:
 
 _TRAINING_FIELDS = {config_field.name for config_field in dataclasses.fields(TrainingConfig)}
 _SPEC_FIELDS = (
-    "classifier", "vectorizer", "risk_features", "source",
+    "classifier", "vectorizer", "risk_features", "source", "execution",
     "risk_metric", "training", "decision_threshold", "seed",
 )
 
@@ -158,6 +159,12 @@ class PipelineSpec:
         added via ``register_source``).  When set, the pipeline knows where
         its pairs stream from and ``StagedPipeline.build_source()`` (or
         :func:`build_source`) materialises the backend.
+    execution:
+        Optional :class:`~repro.parallel.config.ExecutionConfig` (or its
+        ``to_dict`` mapping) with the default multi-worker scoring setup —
+        worker count, pool backend, chunk size.  Purely a throughput knob:
+        scores are bit-identical at any worker count, so the field never
+        changes *what* a pipeline computes, only how fast.
     risk_metric:
         Name of a registered risk metric (``"var"``, ``"cvar"``,
         ``"expectation"``, or anything added via ``register_risk_metric``).
@@ -177,6 +184,7 @@ class PipelineSpec:
     vectorizer: ComponentSpec = field(default_factory=lambda: ComponentSpec("basic"))
     risk_features: ComponentSpec = field(default_factory=lambda: ComponentSpec("onesided_tree"))
     source: ComponentSpec | None = None
+    execution: ExecutionConfig | None = None
     risk_metric: str = "var"
     training: dict[str, Any] = field(default_factory=dict)
     decision_threshold: float = 0.5
@@ -188,6 +196,7 @@ class PipelineSpec:
         self.risk_features = ComponentSpec.coerce(self.risk_features, "risk_features")
         if self.source is not None:
             self.source = ComponentSpec.coerce(self.source, "source")
+        self.execution = ExecutionConfig.coerce(self.execution)
         if not isinstance(self.training, Mapping):
             raise ConfigurationError(
                 f"training must be a mapping of TrainingConfig fields, "
@@ -249,6 +258,8 @@ class PipelineSpec:
         }
         if self.source is not None:
             values["source"] = self.source.to_dict()
+        if self.execution is not None:
+            values["execution"] = self.execution.to_dict()
         return values
 
     @classmethod

@@ -37,6 +37,8 @@ from ..data.workload import Workload
 from ..evaluation.roc import auroc_score, mislabel_indicator
 from ..exceptions import ConfigurationError, DataError, NotFittedError
 from ..features.vectorizer import PairVectorizer
+from ..parallel.chunks import ChunkScores
+from ..parallel.config import ExecutionConfig
 from ..risk.feature_generation import GeneratedRiskFeatures, RiskFeatureGenerator
 from ..risk.model import FeatureExplanation, LearnRiskModel
 from ..risk.onesided_tree import OneSidedTreeConfig
@@ -131,6 +133,9 @@ class StagedPipeline:
             )
         self.feature_generator = feature_generator
         self.training_config = training_config or spec.training_config()
+        #: Default execution configuration for chunked scoring (spec-driven;
+        #: per-call ``workers=`` / ``execution=`` arguments override it).
+        self.execution: ExecutionConfig | None = spec.execution
         self.risk_features: GeneratedRiskFeatures | None = None
         self.risk_model: LearnRiskModel | None = None
         self._fitted = False
@@ -300,38 +305,63 @@ class StagedPipeline:
         _, probabilities, machine_labels = self._classify_pairs(workload.pairs)
         return probabilities, machine_labels
 
-    def _report(
-        self, pairs: list[RecordPair], explain_top: int = 0
-    ) -> RiskReport:
-        """Score ``pairs`` and assemble a :class:`RiskReport` (no fitted check)."""
+    def score_chunk(self, pairs: list[RecordPair], explain_top: int = 0) -> ChunkScores:
+        """Score one chunk of pairs: the shared unit of serial *and* parallel work.
+
+        This is the exact computation a pool worker runs on its shard — the
+        serial streaming loop, the thread backend and the process backend all
+        call this one method (on the parent pipeline or on a state-identical
+        clone), which is what makes multi-worker output structurally
+        bit-identical to the serial path.
+        """
+        self._check_fitted()
         matrix, probabilities, machine_labels = self._classify_pairs(pairs)
         risk_scores = self.risk_model.score(matrix, probabilities, machine_labels)
         ranking = np.argsort(-risk_scores, kind="stable")
+        explanations: dict[int, list[FeatureExplanation]] = {}
+        for index in ranking[:explain_top]:
+            explanations[int(index)] = self.risk_model.explain(
+                matrix[int(index)], float(probabilities[int(index)])
+            )
+        return ChunkScores(
+            probabilities=probabilities,
+            machine_labels=machine_labels,
+            risk_scores=risk_scores,
+            ranking=ranking,
+            explanations=explanations,
+        )
 
+    def _report_from_scores(self, pairs: list[RecordPair], scores: ChunkScores) -> RiskReport:
+        """Assemble a :class:`RiskReport` from a chunk's scoring outputs.
+
+        The AUROC is computed here, on the dispatching side, from the returned
+        arrays plus the pairs' ground truth — identical code for chunks scored
+        serially and chunks scored by a pool worker.
+        """
         # AUROC is only defined for labeled workloads on which the classifier
         # made some (but not only) mistakes; check explicitly instead of
         # swallowing exceptions, so genuine scoring bugs surface.
         auroc = None
         if pairs and all(pair.ground_truth is not None for pair in pairs):
             ground_truth = np.array([pair.ground_truth for pair in pairs], dtype=int)
-            risk_labels = mislabel_indicator(machine_labels, ground_truth)
+            risk_labels = mislabel_indicator(scores.machine_labels, ground_truth)
             if 0 < risk_labels.sum() < len(risk_labels):
-                auroc = auroc_score(risk_labels, risk_scores)
-
-        explanations: dict[int, list[FeatureExplanation]] = {}
-        for index in ranking[:explain_top]:
-            explanations[int(index)] = self.risk_model.explain(
-                matrix[int(index)], float(probabilities[int(index)])
-            )
+                auroc = auroc_score(risk_labels, scores.risk_scores)
         return RiskReport(
             pairs=list(pairs),
-            machine_probabilities=probabilities,
-            machine_labels=machine_labels,
-            risk_scores=risk_scores,
-            ranking=ranking,
+            machine_probabilities=scores.probabilities,
+            machine_labels=scores.machine_labels,
+            risk_scores=scores.risk_scores,
+            ranking=scores.ranking,
             auroc=auroc,
-            explanations=explanations,
+            explanations=dict(scores.explanations),
         )
+
+    def _report(
+        self, pairs: list[RecordPair], explain_top: int = 0
+    ) -> RiskReport:
+        """Score ``pairs`` and assemble a :class:`RiskReport`."""
+        return self._report_from_scores(pairs, self.score_chunk(pairs, explain_top=explain_top))
 
     def analyse(self, workload: Workload | PairSource, explain_top: int = 0) -> RiskReport:
         """Label ``workload`` and rank its pairs by mislabeling risk.
@@ -346,8 +376,53 @@ class StagedPipeline:
         self._check_fitted()
         return self._report(list(as_workload(workload).pairs), explain_top=explain_top)
 
+    def warm_kernel(self) -> None:
+        """Compile the rule-coverage kernel now (explicit warm-up).
+
+        Called before streaming so every chunk reuses one compiled kernel
+        instead of the first chunk paying the build cost; pool workers call it
+        once right after rebuilding their pipeline (the kernel is lazy state
+        that is deliberately not pickled).
+        """
+        self._check_fitted()
+        self.risk_model.features.warm_kernel()
+
+    def _resolve_execution(
+        self,
+        workers: int | None = None,
+        execution: ExecutionConfig | Mapping[str, Any] | None = None,
+    ) -> ExecutionConfig:
+        """Merge the per-call execution overrides with the spec-level default."""
+        config = ExecutionConfig.coerce(execution)
+        if config is None:
+            config = self.execution or ExecutionConfig()
+        return config.with_workers(workers)
+
+    @staticmethod
+    def _length_hint(workload: Workload | PairSource) -> int | None:
+        """Total pairs when cheaply known (steers auto backend choice only).
+
+        Never materialises anything: sources and lazy source-backed workload
+        views answer from their length *metadata* (``None`` when unknown or
+        unbounded) — ``len()`` on a lazy view would fall back to loading
+        every pair, which is exactly what the streaming stack must not do.
+        """
+        if isinstance(workload, PairSource):
+            return workload.length
+        if isinstance(workload, Workload) and not workload.is_materialized:
+            return workload.source.length if workload.source is not None else None
+        try:
+            return len(workload)
+        except TypeError:
+            return None
+
     def analyse_batches(
-        self, workload: Workload | PairSource, batch_size: int = 1024, explain_top: int = 0
+        self,
+        workload: Workload | PairSource,
+        batch_size: int | None = None,
+        explain_top: int = 0,
+        workers: int | None = None,
+        execution: ExecutionConfig | Mapping[str, Any] | None = None,
     ) -> Iterator[RiskReport]:
         """Stream :class:`RiskReport` chunks of at most ``batch_size`` pairs.
 
@@ -357,17 +432,41 @@ class StagedPipeline:
         :class:`~repro.data.sources.PairSource` directly — streamed sources
         are never fully materialised.  Rankings, AUROC and explanations are
         per-chunk.
+
+        ``workers`` / ``execution`` fan the chunks out to a worker pool
+        through :class:`~repro.parallel.engine.ParallelScoringEngine`; the
+        spec's ``execution`` field supplies the default configuration.
+        Reports come back **in source order** and bit-identical to the serial
+        path at any worker count and chunk size.  ``batch_size=None`` takes
+        the execution config's ``chunk_size`` (1024 when unset).
         """
         self._check_fitted()
+        config = self._resolve_execution(workers, execution)
+        if batch_size is None:
+            batch_size = config.resolve_chunk_size(1024)
         if batch_size < 1:
             raise ConfigurationError("batch_size must be >= 1")
-        # Compile the rule-coverage kernel once before streaming so every
-        # chunk reuses it instead of the first chunk paying the build cost.
-        self.risk_model.features.kernel
-        for chunk in workload.iter_chunks(batch_size):
-            if not chunk:  # defensive: custom sources may emit empty chunks
-                continue
-            yield self._report(chunk, explain_top=explain_top)
+        # Only worth looking up when a pool is actually possible; with one
+        # worker the backend is serial whatever the length says.
+        length_hint = None if config.workers <= 1 else self._length_hint(workload)
+        if config.resolve_backend(length_hint) == "serial":
+            self.warm_kernel()
+            for chunk in workload.iter_chunks(batch_size):
+                if not chunk:  # defensive: custom sources may emit empty chunks
+                    continue
+                yield self._report(chunk, explain_top=explain_top)
+            return
+        # Imported lazily: repro.parallel.engine rebuilds pipelines through
+        # this module, so the import must not be circular at module level.
+        from ..parallel.engine import ParallelScoringEngine
+
+        with ParallelScoringEngine(self, config) as engine:
+            for chunk, scores in engine.map_chunks(
+                workload.iter_chunks(batch_size),
+                explain_top=explain_top,
+                length_hint=length_hint,
+            ):
+                yield self._report_from_scores(chunk, scores)
 
     def explain_pair(self, pair: RecordPair, top_k: int | None = None) -> list[FeatureExplanation]:
         """Explain a single pair's risk in terms of the rules covering it."""

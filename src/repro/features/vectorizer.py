@@ -136,6 +136,22 @@ class PairVectorizer:
     STATE_KIND = "pair_vectorizer"
     STATE_VERSION = 1
 
+    def __getstate__(self) -> dict:
+        """Pickle through the persistence state, not the live ``__dict__``.
+
+        The metric functions are registry closures (not picklable), so a raw
+        ``__dict__`` pickle breaks any multiprocessing user that ships a
+        vectoriser — or anything holding one, like
+        :class:`~repro.risk.feature_generation.GeneratedRiskFeatures` — to a
+        worker.  Round-tripping through :meth:`to_state` instead rebuilds the
+        functions from the metric registry on unpickle, with the same
+        restriction as disk persistence: only registry metrics survive.
+        """
+        return self.to_state()
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(PairVectorizer.from_state(state).__dict__)
+
     def to_state(self) -> dict:
         """Export the fitted vectoriser as a JSON-safe state dict.
 

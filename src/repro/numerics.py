@@ -9,10 +9,21 @@ invisible in eager scoring but breaks the contract of the streaming stack:
 
 ``np.einsum`` (without ``optimize``) reduces strictly along the contraction
 axis per output element, so its result depends only on the reduced extent —
-never on the batch dimension.  Every per-row matrix product on the scoring hot
-path (classifier forward pass, portfolio aggregation) goes through these
-helpers; training keeps plain BLAS matmuls, where raw throughput matters and
-batch invariance does not.
+never on the batch dimension — **for a fixed memory layout**.  Einsum's inner
+loop follows the operand's strides, so the same rows in a Fortran-ordered
+matrix (column stride 1) and in a C-ordered matrix (row stride 1) can reduce
+in different associations; worse, a single-row slice of an F-ordered matrix
+*is* C-contiguous, which made ``A[i:i+1] @ w`` differ from ``(A @ w)[i]`` by
+1 ulp exactly when a streamed chunk had one row (the trailing chunk of an
+odd-sized workload).  The helpers therefore normalise every matrix argument
+to C order first: a no-op for the already-C classifier matrices, one
+transpose copy for the rule kernel's F-ordered membership output, and after
+it the reduction order per output element is fixed at any batch size — chunk
+size 1 included.
+
+Every per-row matrix product on the scoring hot path (classifier forward
+pass, portfolio aggregation) goes through these helpers; training keeps plain
+BLAS matmuls, where raw throughput matters and batch invariance does not.
 
 This module deliberately depends only on numpy so any layer can use it without
 import cycles.
@@ -24,10 +35,19 @@ import numpy as np
 
 
 def batch_invariant_matvec(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
-    """``matrix @ vector`` with a batch-size-independent summation order."""
-    return np.einsum("ij,j->i", matrix, vector)
+    """``matrix @ vector`` with a batch-size-independent summation order.
+
+    The matrix is normalised to C order first; see the module docstring for
+    why layout is part of the invariance contract.
+    """
+    return np.einsum("ij,j->i", np.ascontiguousarray(matrix), vector)
 
 
 def batch_invariant_matmul(matrix: np.ndarray, weights: np.ndarray) -> np.ndarray:
-    """``matrix @ weights`` with a batch-size-independent summation order."""
-    return np.einsum("ij,jk->ik", matrix, weights)
+    """``matrix @ weights`` with a batch-size-independent summation order.
+
+    Both operands keep a fixed effective layout: the row operand is
+    normalised to C order (the column operand's layout does not vary between
+    the chunked and eager paths).
+    """
+    return np.einsum("ij,jk->ik", np.ascontiguousarray(matrix), weights)

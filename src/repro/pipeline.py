@@ -116,7 +116,10 @@ class LearnRiskPipeline(StagedPipeline):
             seed=parts.spec.seed,
         )
         # Keep the full saved spec (decision threshold, component params)
-        # rather than the reconstruction the legacy constructor derived.
+        # rather than the reconstruction the legacy constructor derived — and
+        # re-derive the spec-driven defaults that __init__ read off the
+        # reconstruction, like the execution config for multi-worker scoring.
         pipeline.spec = parts.spec
+        pipeline.execution = parts.spec.execution
         pipeline._attach_fitted_state(parts)
         return pipeline

@@ -109,8 +109,9 @@ class PackedMembership:
         """Expand back to a dense ``(n_pairs, n_rules)`` matrix of ``dtype``.
 
         The result is Fortran-ordered like :meth:`RuleKernel.membership`
-        output, so downstream matmuls run the same BLAS summation order and
-        packed and dense paths stay bit-identical end to end.
+        output, so the packed and dense paths hand downstream consumers the
+        same layout and stay bit-identical end to end (the batch-invariant
+        reductions of :mod:`repro.numerics` then normalise layout themselves).
         """
         if self.n_rules == 0:
             return np.zeros((len(self.bits), 0), dtype=dtype)
@@ -235,8 +236,10 @@ class RuleKernel:
         value for value; pass ``dtype=bool`` for the smallest dense form.
         The array is Fortran-ordered — the rule-major layout the kernel
         computes in — so materialising it is a contiguous cast instead of a
-        cache-hostile strided transpose (4-5x faster at serving batch sizes);
-        every consumer (matmuls, reductions, row indexing) is layout-agnostic.
+        cache-hostile strided transpose (4-5x faster at serving batch sizes).
+        Consumers are layout-agnostic value-wise; reductions that must be
+        *bit*-reproducible across batch sizes normalise the layout themselves
+        (see :mod:`repro.numerics` and ``aggregate_portfolio``).
         """
         metric_matrix = self._checked_matrix(metric_matrix)
         out = np.empty((len(metric_matrix), self.n_rules), dtype=dtype, order="F")

@@ -78,8 +78,38 @@ class GeneratedRiskFeatures:
             self._kernel_rules = self.rules
         return self._kernel
 
+    def warm_kernel(self) -> RuleKernel:
+        """Compile the rule kernel now (explicit warm-up) and return it.
+
+        Pool workers call this right after unpickling so the first scored
+        chunk never pays the kernel build cost; it is also the documented way
+        to pre-warm before handing the features to concurrent threads (the
+        lazy build is a benign race, but warming makes it a non-event).
+        """
+        return self.kernel
+
     def invalidate_kernel(self) -> None:
         """Force the next :attr:`kernel` access to recompile the rule set."""
+        self._kernel = None
+        self._kernel_rules = None
+
+    # ------------------------------------------------------------- worker safety
+    def __getstate__(self) -> dict:
+        """Pickle without the lazy kernel cache.
+
+        The compiled :class:`RuleKernel` is derived state: shipping it to pool
+        workers would inflate every fork/spawn payload with the flattened
+        condition arrays, and its identity-based invalidation check
+        (``_kernel_rules is self.rules``) is not meaningful across process
+        boundaries.  Workers recompile explicitly via :meth:`warm_kernel`.
+        """
+        state = self.__dict__.copy()
+        state["_kernel"] = None
+        state["_kernel_rules"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
         self._kernel = None
         self._kernel_rules = None
 

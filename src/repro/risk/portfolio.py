@@ -79,7 +79,10 @@ def aggregate_portfolio(
     if isinstance(membership, PackedMembership):
         n_pairs, n_rules = membership.shape
     else:
-        membership = np.asarray(membership, dtype=float)
+        # C order up front: the batch-invariant matvec normalises layout (the
+        # summation association follows the strides), so converting the rule
+        # kernel's F-ordered output once here saves two of the three copies.
+        membership = np.ascontiguousarray(membership, dtype=float)
         n_pairs, n_rules = membership.shape
     if not (len(rule_weights) == len(rule_means) == len(rule_stds) == n_rules):
         raise ConfigurationError("rule weight/mean/std lengths must match the membership matrix")
@@ -92,7 +95,9 @@ def aggregate_portfolio(
         weighted_variance = np.empty(n_pairs)
         for start in range(0, n_pairs, _PACKED_CHUNK_ROWS):
             stop = min(start + _PACKED_CHUNK_ROWS, n_pairs)
-            chunk = PackedMembership(membership.bits[start:stop], n_rules).unpack(float)
+            chunk = np.ascontiguousarray(
+                PackedMembership(membership.bits[start:stop], n_rules).unpack(float)
+            )
             total_weight[start:stop] = _matvec(chunk, rule_weights)
             weighted_mean[start:stop] = _matvec(chunk, mean_weights)
             weighted_variance[start:stop] = _matvec(chunk, variance_weights)

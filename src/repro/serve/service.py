@@ -23,6 +23,17 @@ Three serving concerns are handled here:
 All public methods are thread-safe; a single lock serialises scoring, which
 keeps the numpy pipeline components (which are not re-entrant during a forward
 pass) safe under concurrent callers.
+
+**Multi-worker scoring.**  :meth:`RiskService.score_source` (and
+:meth:`score_workload`) accept ``workers=N`` / an
+:class:`~repro.parallel.config.ExecutionConfig` and route chunks through the
+:class:`~repro.parallel.engine.ParallelScoringEngine`, which shards them over
+a process pool (thread pool for small batches) and merges results back in
+source order, bit-identical to the serial path.  The service itself is never
+shipped to workers — it holds a lock and a mutable LRU cache, both of which
+are process-local by design; workers rebuild the *pipeline* from its
+picklable state instead.  Parallel passes therefore bypass the vectorisation
+cache (counted as misses in the statistics).
 """
 
 from __future__ import annotations
@@ -37,9 +48,10 @@ import numpy as np
 
 from ..compose.staged import StagedPipeline
 from ..data.records import RecordPair
-from ..data.sources import PairSource
+from ..data.sources import PairSource, as_pair_source
 from ..data.workload import Workload
 from ..exceptions import ConfigurationError, NotFittedError
+from ..parallel.config import ExecutionConfig
 
 #: Identity of a record pair: source + id of both sides.
 PairKey = tuple[str, str, str, str]
@@ -177,6 +189,12 @@ class RiskService:
         self._lock = threading.RLock()
         self._cache: OrderedDict[PairKey, np.ndarray] = OrderedDict()
         self._buffer: list[tuple[RecordPair, PendingScore]] = []
+        # Lazily-built multi-worker engines keyed by execution config, reused
+        # across parallel passes so repeated score_source(workers=N) calls
+        # keep their warmed pool.  One engine per config (instead of swapping
+        # a single slot) so a caller with a new config can never tear down a
+        # pool that another in-flight stream is still consuming.
+        self._engines: dict[ExecutionConfig, object] = {}
         # Compile the rule-coverage kernel up front so the first request does
         # not pay the build cost; every batch then reuses this one kernel.
         if pipeline.risk_model is not None:
@@ -280,7 +298,11 @@ class RiskService:
         return np.array([scored.risk_score for scored in self.score_pairs(pairs)], dtype=float)
 
     def score_source(
-        self, source: PairSource | Workload, chunk_size: int | None = None
+        self,
+        source: PairSource | Workload,
+        chunk_size: int | None = None,
+        workers: int | None = None,
+        execution: ExecutionConfig | None = None,
     ) -> Iterator[ScoredPair]:
         """Stream scored pairs from a source without materialising it.
 
@@ -290,11 +312,21 @@ class RiskService:
         one chunk regardless of the source size — including unbounded
         :class:`~repro.data.sources.GeneratorSource` streams, which this
         generator consumes lazily.
+
+        ``workers`` / ``execution`` shard the chunks over a worker pool (see
+        the module docstring); scored pairs still come back in exact source
+        order with bit-identical numbers, so turning parallelism on is purely
+        a throughput decision.
         """
+        config = self.pipeline._resolve_execution(workers, execution)
         if chunk_size is None:
-            chunk_size = self.max_batch_size
+            chunk_size = config.resolve_chunk_size(self.max_batch_size)
         if chunk_size < 1:
             raise ConfigurationError("chunk_size must be >= 1")
+        length_hint = None if config.workers <= 1 else StagedPipeline._length_hint(source)
+        if config.resolve_backend(length_hint) != "serial":
+            yield from self._score_source_parallel(source, chunk_size, config, length_hint)
+            return
         for chunk in source.iter_chunks(chunk_size):
             # Chunks larger than the micro-batch size are split so batch
             # statistics keep their meaning and the lock is never held long.
@@ -303,10 +335,91 @@ class RiskService:
                     scored = self._score_batch(chunk[start:start + self.max_batch_size])
                 yield from scored
 
-    def score_workload(self, workload: Workload | PairSource) -> list[ScoredPair]:
-        """Score every pair of a workload (or bounded source) through the serving path."""
+    def _parallel_engine(self, config: ExecutionConfig):
+        """The service's cached scoring engine for ``config``.
+
+        Keeping engines alive across calls means repeated parallel passes
+        reuse their warmed worker pool (pipeline state shipped once, kernels
+        compiled once) instead of re-paying pool startup per pass; caching
+        per config means a concurrent caller with a *different* config gets
+        its own engine rather than closing the pool an in-flight stream is
+        still consuming.  Engines snapshot the pipeline state on first use —
+        after mutating the served pipeline (e.g. ``refit_risk_model``), call
+        :meth:`close` so the next pass rebuilds the workers from new state.
+        """
+        from ..parallel.engine import ParallelScoringEngine
+
+        with self._lock:
+            engine = self._engines.get(config)
+            if engine is None:
+                engine = ParallelScoringEngine(self.pipeline, config)
+                self._engines[config] = engine
+            return engine
+
+    def close(self) -> None:
+        """Shut down every cached multi-worker engine (idempotent)."""
+        with self._lock:
+            engines, self._engines = list(self._engines.values()), {}
+        for engine in engines:
+            engine.close()
+
+    def __enter__(self) -> "RiskService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _score_source_parallel(
+        self,
+        source: PairSource | Workload,
+        chunk_size: int,
+        config: ExecutionConfig,
+        length_hint: int | None,
+    ) -> Iterator[ScoredPair]:
+        """The multi-worker branch of :meth:`score_source` (same order, same numbers)."""
+        engine = self._parallel_engine(config)
+        results = engine.map_chunks(source.iter_chunks(chunk_size), length_hint=length_hint)
+        while True:
+            start = time.perf_counter()
+            batch = next(results, None)
+            if batch is None:
+                return
+            chunk, scores = batch
+            elapsed = time.perf_counter() - start
+            # Workers vectorise in their own processes; the parent-side LRU
+            # cache is bypassed, which the statistics count as misses.  The
+            # stats object is shared with the serial path, so updates happen
+            # under the service lock like every other writer.
+            with self._lock:
+                self.stats.record_cache(hits=0, misses=len(chunk))
+                self.stats.record_batch(len(chunk), elapsed)
+            for index, pair in enumerate(chunk):
+                yield ScoredPair(
+                    pair=pair,
+                    probability=float(scores.probabilities[index]),
+                    machine_label=int(scores.machine_labels[index]),
+                    risk_score=float(scores.risk_scores[index]),
+                )
+
+    def score_workload(
+        self,
+        workload: Workload | PairSource,
+        workers: int | None = None,
+        execution: ExecutionConfig | None = None,
+    ) -> list[ScoredPair]:
+        """Score every pair of a workload (or bounded source) through the serving path.
+
+        ``workers`` / ``execution`` route the whole workload through the
+        multi-worker streaming path (chunked at ``max_batch_size``); the
+        returned list is identical — order and numbers — to the serial one.
+        """
+        config = self.pipeline._resolve_execution(workers, execution)
         if isinstance(workload, PairSource):
-            return list(self.score_source(workload))
+            return list(self.score_source(workload, workers=config.workers, execution=config))
+        if config.resolve_backend(len(workload.pairs)) != "serial":
+            return list(self.score_source(
+                as_pair_source(workload), workers=config.workers, execution=config
+            ))
         return self.score_pairs(workload.pairs)
 
     # --------------------------------------------------------- micro-batching

@@ -1,0 +1,104 @@
+"""Golden end-to-end regression: fit → save → load → score, byte-compared.
+
+The fixture under ``tests/golden/data/`` is a tiny committed CSV workload
+(the :mod:`repro.data.io` layout) plus ``spec.json``; the expected output in
+``expected_scores.json`` is the **exact CSV text** the serve CLI must emit
+when scoring that workload with a model fitted from that spec.  The test
+drives the real command line — ``python -m repro.serve fit`` then ``score`` —
+so the whole chain (vectoriser statistics, classifier training, rule
+generation, risk-model training, persistence round trip, service scoring,
+CSV formatting) is pinned: any refactor that silently drifts a single bit of
+any stage changes a ``repr``-formatted float in the CSV and fails the byte
+comparison.
+
+The scored output must also be byte-identical across every scoring mode —
+eager, streamed chunks, and multi-worker sharded — which is the user-facing
+statement of the :mod:`repro.parallel` determinism contract.
+
+Regenerating (only when an *intentional* numeric change lands)::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/golden -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.serve.cli import main as serve_cli
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+DATA_DIR = GOLDEN_DIR / "data"
+EXPECTED_FILE = GOLDEN_DIR / "expected_scores.json"
+WORKLOAD_NAME = "golden"
+
+
+@pytest.fixture(scope="module")
+def fitted_model_dir(tmp_path_factory) -> Path:
+    """Fit through the CLI from the committed spec + data, save to a tmp dir."""
+    model_dir = tmp_path_factory.mktemp("golden-model") / "model"
+    exit_code = serve_cli([
+        "fit",
+        "--data-dir", str(DATA_DIR),
+        "--name", WORKLOAD_NAME,
+        "--schema", str(DATA_DIR / "schema.json"),
+        "--spec", str(DATA_DIR / "spec.json"),
+        "--output", str(model_dir),
+    ])
+    assert exit_code == 0
+    return model_dir
+
+
+def score_to_csv(model_dir: Path, output: Path, *extra: str) -> str:
+    exit_code = serve_cli([
+        "score",
+        "--model", str(model_dir),
+        "--data-dir", str(DATA_DIR),
+        "--name", WORKLOAD_NAME,
+        "--output", str(output),
+        *extra,
+    ])
+    assert exit_code == 0
+    return output.read_text()
+
+
+class TestGoldenScores:
+    def test_cli_output_matches_committed_golden(self, fitted_model_dir, tmp_path):
+        csv_text = score_to_csv(fitted_model_dir, tmp_path / "scores.csv")
+        if os.environ.get("REPRO_UPDATE_GOLDEN"):
+            EXPECTED_FILE.write_text(json.dumps({
+                "workload": WORKLOAD_NAME,
+                "spec": json.loads((DATA_DIR / "spec.json").read_text()),
+                "csv": csv_text,
+            }, indent=2) + "\n")
+            pytest.skip("golden fixture regenerated")
+        expected = json.loads(EXPECTED_FILE.read_text())
+        assert csv_text == expected["csv"], (
+            "CLI scoring output drifted from tests/golden/expected_scores.json — "
+            "if the numeric change is intentional, regenerate with "
+            "REPRO_UPDATE_GOLDEN=1"
+        )
+
+    def test_streamed_and_parallel_modes_are_byte_identical(
+        self, fitted_model_dir, tmp_path
+    ):
+        eager = score_to_csv(fitted_model_dir, tmp_path / "eager.csv")
+        streamed = score_to_csv(
+            fitted_model_dir, tmp_path / "streamed.csv", "--chunk-size", "7"
+        )
+        sharded = score_to_csv(
+            fitted_model_dir, tmp_path / "sharded.csv",
+            "--chunk-size", "7", "--workers", "2",
+        )
+        assert streamed == eager
+        assert sharded == eager
+
+    def test_loaded_model_rescores_identically(self, fitted_model_dir, tmp_path):
+        # Two independent loads of the same saved model: the persistence round
+        # trip itself must be deterministic, not just the first use of it.
+        first = score_to_csv(fitted_model_dir, tmp_path / "first.csv")
+        second = score_to_csv(fitted_model_dir, tmp_path / "second.csv")
+        assert first == second

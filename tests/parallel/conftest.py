@@ -1,0 +1,34 @@
+"""Shared fixtures of the parallel-scoring suite.
+
+One small fitted pipeline (logistic classifier, shallow rules — fast to fit
+and cheap to rebuild inside pool workers) plus its workload split, shared at
+module scope by every parity test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compose import PipelineSpec, build_pipeline
+from repro.data import split_workload
+
+SPEC_VALUES = {
+    "classifier": {"kind": "logistic", "params": {"epochs": 25}},
+    "risk_features": {
+        "kind": "onesided_tree",
+        "params": {"tree": {"max_depth": 2, "min_support": 4, "max_thresholds": 24}},
+    },
+    "training": {"epochs": 30},
+    "seed": 0,
+}
+
+
+@pytest.fixture(scope="session")
+def parallel_split(ds_workload):
+    return split_workload(ds_workload, ratio=(3, 2, 5), seed=0)
+
+
+@pytest.fixture(scope="session")
+def fitted_pipeline(parallel_split):
+    pipeline = build_pipeline(PipelineSpec.from_dict(SPEC_VALUES))
+    return pipeline.fit(parallel_split.train, parallel_split.validation)

@@ -1,0 +1,71 @@
+"""Regressions for the batch-invariant kernels (repro.numerics).
+
+The contract: ``batch_invariant_matvec(A[s:t], v)`` equals
+``batch_invariant_matvec(A, v)[s:t]`` bit for bit, for every slice — that is
+what makes chunked/streamed/parallel scoring reproduce eager scoring exactly.
+The subtle part this file pins down is **memory layout**: einsum's reduction
+association follows the operand's strides, and a single-row slice of a
+Fortran-ordered matrix is C-contiguous, so without layout normalisation the
+trailing one-row chunk of an odd-sized workload differed from the eager path
+by 1 ulp.  (Found by the parallel-scoring parity suite at chunk size 1.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.numerics import batch_invariant_matmul, batch_invariant_matvec
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = np.random.default_rng(42)
+    matrix = rng.random((97, 23))  # odd row count: every chunking leaves a tail
+    vector = rng.random(23) * 3.0
+    weights = rng.random((23, 5)) - 0.5
+    return matrix, vector, weights
+
+
+@pytest.mark.parametrize("order", ["C", "F"])
+@pytest.mark.parametrize("chunk", [1, 2, 7, 96, 200])
+def test_matvec_batch_invariant_in_any_layout(operands, order, chunk):
+    matrix, vector, _ = operands
+    laid_out = np.asarray(matrix, order=order)
+    full = batch_invariant_matvec(laid_out, vector)
+    for start in range(0, len(matrix), chunk):
+        part = batch_invariant_matvec(laid_out[start:start + chunk], vector)
+        assert np.array_equal(part, full[start:start + chunk])
+
+
+@pytest.mark.parametrize("order", ["C", "F"])
+@pytest.mark.parametrize("chunk", [1, 3, 50])
+def test_matmul_batch_invariant_in_any_layout(operands, order, chunk):
+    matrix, _, weights = operands
+    laid_out = np.asarray(matrix, order=order)
+    full = batch_invariant_matmul(laid_out, weights)
+    for start in range(0, len(matrix), chunk):
+        part = batch_invariant_matmul(laid_out[start:start + chunk], weights)
+        assert np.array_equal(part, full[start:start + chunk])
+
+
+def test_layouts_agree_with_each_other(operands):
+    # C- and F-ordered copies of the same values must reduce identically —
+    # the layout is normalised away, not just held fixed per call.
+    matrix, vector, weights = operands
+    c_ordered = np.ascontiguousarray(matrix)
+    f_ordered = np.asfortranarray(matrix)
+    assert np.array_equal(
+        batch_invariant_matvec(c_ordered, vector), batch_invariant_matvec(f_ordered, vector)
+    )
+    assert np.array_equal(
+        batch_invariant_matmul(c_ordered, weights), batch_invariant_matmul(f_ordered, weights)
+    )
+
+
+def test_values_match_plain_matmul_closely(operands):
+    # Invariance must not come at the price of accuracy: the einsum results
+    # sit within normal floating-point distance of the BLAS products.
+    matrix, vector, weights = operands
+    assert np.allclose(batch_invariant_matvec(matrix, vector), matrix @ vector)
+    assert np.allclose(batch_invariant_matmul(matrix, weights), matrix @ weights)
