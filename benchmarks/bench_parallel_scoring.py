@@ -13,7 +13,11 @@ claim on one workload:
 
 The recorded ``speedup`` is honest wall-clock: on a single-core container the
 pool *loses* to serial (process startup + IPC with no parallel compute to pay
-for it) and the JSON says so — the ``cpu_count`` field qualifies every number.
+for it) and the JSON says so — the ``cpu_count`` and ``start_method`` fields
+qualify every number.  Each grid pass runs under a
+:class:`repro.obs.MetricsRegistry`, so the report also carries per-worker
+chunk timings and pipeline-rebuild costs straight from the engine's own merge
+telemetry.
 The ``--smoke`` CI mode asserts the determinism contract unconditionally
 (thread and process backends, uneven chunks) and asserts the ≥2x speedup at
 4 workers only where ≥4 cores are actually available, recording
@@ -28,9 +32,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import os
 import sys
-import time
 from pathlib import Path
 
 import numpy as np
@@ -39,6 +43,7 @@ from repro.compose import PipelineSpec, build_pipeline
 from repro.data import load_dataset, split_workload
 from repro.data.sources import InMemorySource
 from repro.data.workload import Workload
+from repro.obs import MetricsRegistry, Stopwatch, use_recorder
 from repro.parallel import ExecutionConfig
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_parallel_scoring.json"
@@ -62,6 +67,11 @@ def available_cores() -> int:
         return os.cpu_count() or 1
 
 
+def resolved_start_method(start_method: str | None) -> str:
+    """The process start method a run actually uses (platform default resolved)."""
+    return start_method or multiprocessing.get_start_method()
+
+
 def build_fitted_pipeline(scale: float):
     workload = load_dataset("DS", scale=scale)
     split = split_workload(workload, ratio=(3, 2, 5), seed=0)
@@ -83,6 +93,28 @@ def scoring_workload(split, n_pairs: int) -> Workload:
     )
 
 
+def worker_breakdown(registry: MetricsRegistry) -> dict:
+    """Per-worker chunk timings, read back from the engine's merge telemetry.
+
+    The engine records one ``parallel.worker.<name>.chunk_seconds`` histogram
+    per pool worker; this collapses each into chunks / total seconds / p95,
+    which is enough to see load imbalance at a glance.  Empty for serial
+    passes (no pool, no workers).
+    """
+    prefix, suffix = "parallel.worker.", ".chunk_seconds"
+    detail: dict[str, dict] = {}
+    for name, stats in sorted(registry.snapshot()["histograms"].items()):
+        if not (name.startswith(prefix) and name.endswith(suffix)):
+            continue
+        worker = name[len(prefix):-len(suffix)]
+        detail[worker] = {
+            "chunks": int(stats["count"]),
+            "seconds": round(stats["sum"], 4),
+            "p95_chunk_seconds": round(stats["p95"], 4),
+        }
+    return detail
+
+
 def run_grid(
     pipeline,
     workload: Workload,
@@ -100,22 +132,26 @@ def run_grid(
             workers=workers, backend=backend if workers > 1 else "serial",
             start_method=start_method,
         )
-        start = time.perf_counter()
-        scores = np.concatenate([
-            report.risk_scores
-            for report in pipeline.analyse_batches(
-                workload, batch_size=chunk_size, execution=execution
-            )
-        ]) if len(workload) else np.zeros(0)
-        seconds = time.perf_counter() - start
+        registry = MetricsRegistry()
+        with use_recorder(registry), Stopwatch() as watch:
+            scores = np.concatenate([
+                report.risk_scores
+                for report in pipeline.analyse_batches(
+                    workload, batch_size=chunk_size, execution=execution
+                )
+            ]) if len(workload) else np.zeros(0)
+        seconds = watch.seconds
         if reference is None:
             reference, baseline_seconds = scores, seconds
         bit_identical = bool(np.array_equal(scores, reference))
+        rebuild = registry.histogram("parallel.worker_rebuild_seconds")
         results[str(workers)] = {
             "seconds": round(seconds, 4),
             "pairs_per_second": round(len(workload) / seconds, 1) if seconds else 0.0,
             "speedup_vs_workers_1": round(baseline_seconds / seconds, 3) if seconds else 0.0,
             "bit_identical_to_workers_1": bit_identical,
+            "worker_rebuild_seconds": round(rebuild.total, 4) if rebuild else 0.0,
+            "per_worker": worker_breakdown(registry),
         }
         if not bit_identical:
             raise AssertionError(
@@ -187,6 +223,7 @@ def run_smoke(args: argparse.Namespace) -> dict:
         "n_pairs": len(workload),
         "chunk_size": args.chunk_size,
         "cpu_count": cores,
+        "start_method": resolved_start_method(args.start_method),
         "parity_checks": checks,
         "speedup_check": speedup_check,
     }
@@ -206,7 +243,7 @@ def run_full(args: argparse.Namespace) -> dict:
         "n_pairs": len(workload),
         "chunk_size": args.chunk_size,
         "backend": args.backend,
-        "start_method": args.start_method or "platform-default",
+        "start_method": resolved_start_method(args.start_method),
         "cpu_count": available_cores(),
         "workers": grid,
     }

@@ -25,11 +25,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import timeit
 from pathlib import Path
 
 import numpy as np
 
+from repro.obs import MetricsRegistry
 from repro.risk.engine import RuleKernel, legacy_rule_matrix
 from repro.risk.rules import Condition, RiskRule
 
@@ -87,10 +87,17 @@ def run_cell(n_pairs: int, n_rules: int, n_metrics: int, repeats: int,
     parity = bool(np.array_equal(legacy, fused))
     packed_parity = bool(np.array_equal(packed.unpack(float), legacy))
 
-    legacy_seconds = min(timeit.repeat(
-        lambda: legacy_rule_matrix(rules, matrix), number=1, repeat=repeats))
-    kernel_seconds = min(timeit.repeat(
-        lambda: kernel.membership(matrix), number=1, repeat=repeats))
+    # Best-of-N timing on the repo's own observability primitives: each run is
+    # timed into a streaming histogram, whose `minimum` is exact (not a
+    # bucketed estimate) — same semantics as min(timeit.repeat(...)).
+    registry = MetricsRegistry()
+    for _ in range(repeats):
+        with registry.timer("legacy"):
+            legacy_rule_matrix(rules, matrix)
+        with registry.timer("kernel"):
+            kernel.membership(matrix)
+    legacy_seconds = registry.histogram("legacy").minimum
+    kernel_seconds = registry.histogram("kernel").minimum
     return {
         "n_pairs": n_pairs,
         "n_rules": n_rules,

@@ -12,7 +12,10 @@ benchmark quantifies the claim on one exported corpus:
 
 For each regime it reports rows/sec and the :mod:`tracemalloc` peak
 allocation.  The peak of the streamed pass is bounded by the chunk size; the
-eager peak grows with the corpus.
+eager peak grows with the corpus.  The streamed pass additionally runs under a
+:class:`repro.obs.MetricsRegistry`, so the report includes the per-stage cost
+split (vectorize vs classify vs risk scoring) straight from the library's own
+span instrumentation — no benchmark-side timing of internals.
 
 The ``--smoke`` CI mode additionally guards the streaming contract:
 
@@ -34,7 +37,6 @@ import csv
 import json
 import sys
 import tempfile
-import time
 import tracemalloc
 from pathlib import Path
 
@@ -42,6 +44,7 @@ import numpy as np
 
 from repro.classifiers import MLPClassifier
 from repro.data import CsvPairSource, export_workload, import_workload, load_dataset, split_workload
+from repro.obs import MetricsRegistry, Stopwatch, use_recorder
 from repro.pipeline import LearnRiskPipeline
 from repro.risk.onesided_tree import OneSidedTreeConfig
 from repro.risk.training import TrainingConfig
@@ -68,10 +71,10 @@ def run_eager(model_dir: Path, data_dir: Path, name: str, schema) -> dict[str, f
     """The load-everything control: import_workload + score_workload."""
     service = RiskService(load_pipeline(model_dir), max_batch_size=256, cache_size=0)
     tracemalloc.start()
-    start = time.perf_counter()
-    workload = import_workload(data_dir, name, schema)
-    scored = service.score_workload(workload)
-    seconds = time.perf_counter() - start
+    with Stopwatch() as watch:
+        workload = import_workload(data_dir, name, schema)
+        scored = service.score_workload(workload)
+    seconds = watch.seconds
     _, peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
     return {
@@ -89,16 +92,17 @@ def run_streamed(
     """The out-of-core path: CsvPairSource + score_source, rows written as scored."""
     service = RiskService(load_pipeline(model_dir), max_batch_size=256, cache_size=0)
     scores: list[float] = []
+    registry = MetricsRegistry()
     tracemalloc.start()
-    start = time.perf_counter()
-    source = CsvPairSource(data_dir, name, schema)
-    with output.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(SCORED_CSV_HEADER)
-        for scored in service.score_source(source, chunk_size=chunk_size):
-            writer.writerow(scored_csv_row(scored))
-            scores.append(scored.risk_score)
-    seconds = time.perf_counter() - start
+    with use_recorder(registry), Stopwatch() as watch:
+        source = CsvPairSource(data_dir, name, schema)
+        with output.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(SCORED_CSV_HEADER)
+            for scored in service.score_source(source, chunk_size=chunk_size):
+                writer.writerow(scored_csv_row(scored))
+                scores.append(scored.risk_score)
+    seconds = watch.seconds
     _, peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
     return {
@@ -107,6 +111,28 @@ def run_streamed(
         "rows_per_second": len(scores) / seconds if seconds else float("inf"),
         "peak_bytes": peak,
         "risk_scores": np.array(scores),
+        "span_totals": registry.span_totals(),
+    }
+
+
+def cost_split(span_totals: dict[str, float]) -> dict[str, float]:
+    """The vectorize-vs-score split of a scoring pass, from its span totals.
+
+    ``risk_score`` nests ``rule_kernel`` and ``aggregate``, so total scoring
+    time is ``vectorize + classify + risk_score`` — the nested leaves are
+    reported for detail but not double-counted in the fraction.
+    """
+    vectorize = span_totals.get("vectorize", 0.0)
+    classify = span_totals.get("classify", 0.0)
+    risk_score = span_totals.get("risk_score", 0.0)
+    scoring = vectorize + classify + risk_score
+    return {
+        "vectorize_seconds": round(vectorize, 4),
+        "classify_seconds": round(classify, 4),
+        "risk_score_seconds": round(risk_score, 4),
+        "rule_kernel_seconds": round(span_totals.get("rule_kernel", 0.0), 4),
+        "aggregate_seconds": round(span_totals.get("aggregate", 0.0), 4),
+        "vectorize_fraction": round(vectorize / scoring, 4) if scoring else 0.0,
     }
 
 
@@ -124,6 +150,7 @@ def run_cli_parity(model_dir: Path, data_dir: Path, name: str, chunk_size: int,
 
 
 def format_results(eager: dict, streamed: dict, chunk_size: int) -> str:
+    split = cost_split(streamed["span_totals"])
     lines = [
         "Streaming ingest — CsvPairSource vs eager import_workload",
         f"  corpus rows           : {int(eager['rows'])}",
@@ -133,6 +160,10 @@ def format_results(eager: dict, streamed: dict, chunk_size: int) -> str:
         f"  eager peak alloc      : {eager['peak_bytes'] / 1e6:.2f} MB",
         f"  streamed peak alloc   : {streamed['peak_bytes'] / 1e6:.2f} MB",
         f"  peak ratio (str/eager): {streamed['peak_bytes'] / eager['peak_bytes']:.2f}",
+        f"  vectorize fraction    : {split['vectorize_fraction']:.1%} of scoring "
+        f"(vectorize {split['vectorize_seconds'] * 1000:.1f}ms, "
+        f"classify {split['classify_seconds'] * 1000:.1f}ms, "
+        f"risk {split['risk_score_seconds'] * 1000:.1f}ms)",
     ]
     return "\n".join(lines)
 
@@ -189,6 +220,7 @@ def main(argv: list[str] | None = None) -> int:
         "eager_peak_bytes": int(eager["peak_bytes"]),
         "streamed_peak_bytes": int(streamed["peak_bytes"]),
         "peak_ratio": round(streamed["peak_bytes"] / eager["peak_bytes"], 4),
+        "streamed_cost_split": cost_split(streamed["span_totals"]),
         "score_parity": parity,
         "cli_parity": cli_parity,
     }

@@ -37,10 +37,11 @@ from ..data.workload import Workload
 from ..evaluation.roc import auroc_score, mislabel_indicator
 from ..exceptions import ConfigurationError, DataError, NotFittedError
 from ..features.vectorizer import PairVectorizer
+from ..obs import get_recorder
 from ..parallel.chunks import ChunkScores
 from ..parallel.config import ExecutionConfig
 from ..risk.feature_generation import GeneratedRiskFeatures, RiskFeatureGenerator
-from ..risk.model import FeatureExplanation, LearnRiskModel
+from ..risk.model import FeatureExplanation, LearnRiskModel, PairRiskExplanation
 from ..risk.onesided_tree import OneSidedTreeConfig
 from ..risk.training import TrainingConfig
 from ..serialization import (
@@ -181,21 +182,24 @@ class StagedPipeline:
                 workload.left_table.schema,
                 self.spec.vectorizer.params,
             )
-        vectorizer.fit(workload.left_table, workload.right_table)
+        with get_recorder().span("fit_vectorizer"):
+            vectorizer.fit(workload.left_table, workload.right_table)
         self.vectorizer = vectorizer
         return self
 
     def fit_classifier(self, train: Workload) -> "StagedPipeline":
         """Stage 2 — train the machine classifier on the training pairs."""
         vectorizer = self._require_vectorizer()
-        features = vectorizer.transform(train.pairs)
-        self.classifier.fit(features, train.labels())
+        with get_recorder().span("fit_classifier"):
+            features = vectorizer.transform(train.pairs)
+            self.classifier.fit(features, train.labels())
         return self
 
     def generate_risk_features(self, train: Workload) -> "StagedPipeline":
         """Stage 3 — generate the interpretable risk features (one-sided rules)."""
         vectorizer = self._require_vectorizer()
-        self.risk_features = self.feature_generator.generate(train, vectorizer=vectorizer)
+        with get_recorder().span("generate_risk_features"):
+            self.risk_features = self.feature_generator.generate(train, vectorizer=vectorizer)
         return self
 
     def fit_risk_model(self, validation: Workload) -> "StagedPipeline":
@@ -213,10 +217,11 @@ class StagedPipeline:
             config=self.training_config,
             risk_metric=self.spec.risk_metric,
         )
-        features = vectorizer.transform(validation.pairs)
-        probabilities = self.classifier.predict_proba(features)
-        machine_labels = self._threshold(probabilities)
-        self.risk_model.fit(features, probabilities, machine_labels, validation.labels())
+        with get_recorder().span("fit_risk_model"):
+            features = vectorizer.transform(validation.pairs)
+            probabilities = self.classifier.predict_proba(features)
+            machine_labels = self._threshold(probabilities)
+            self.risk_model.fit(features, probabilities, machine_labels, validation.labels())
         self._fitted = True
         return self
 
@@ -273,8 +278,9 @@ class StagedPipeline:
 
     def classify_matrix(self, matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Classifier probabilities and thresholded hard labels for a metric matrix."""
-        probabilities = self.classifier.predict_proba(matrix)
-        return probabilities, self._threshold(probabilities)
+        with get_recorder().span("classify"):
+            probabilities = self.classifier.predict_proba(matrix)
+            return probabilities, self._threshold(probabilities)
 
     def _classify_pairs(self, pairs: list[RecordPair]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """The shared vectorize → predict → threshold path: (matrix, probabilities, labels)."""
@@ -315,14 +321,18 @@ class StagedPipeline:
         bit-identical to the serial path.
         """
         self._check_fitted()
-        matrix, probabilities, machine_labels = self._classify_pairs(pairs)
-        risk_scores = self.risk_model.score(matrix, probabilities, machine_labels)
-        ranking = np.argsort(-risk_scores, kind="stable")
-        explanations: dict[int, list[FeatureExplanation]] = {}
-        for index in ranking[:explain_top]:
-            explanations[int(index)] = self.risk_model.explain(
-                matrix[int(index)], float(probabilities[int(index)])
-            )
+        recorder = get_recorder()
+        with recorder.span("score_chunk"):
+            matrix, probabilities, machine_labels = self._classify_pairs(pairs)
+            risk_scores = self.risk_model.score(matrix, probabilities, machine_labels)
+            ranking = np.argsort(-risk_scores, kind="stable")
+            explanations: dict[int, list[FeatureExplanation]] = {}
+            for index in ranking[:explain_top]:
+                explanations[int(index)] = self.risk_model.explain(
+                    matrix[int(index)], float(probabilities[int(index)])
+                )
+        recorder.count("pipeline.chunks_scored")
+        recorder.count("pipeline.pairs_scored", len(pairs))
         return ChunkScores(
             probabilities=probabilities,
             machine_labels=machine_labels,
@@ -473,6 +483,23 @@ class StagedPipeline:
         self._check_fitted()
         matrix, probabilities, _ = self._classify_pairs([pair])
         return self.risk_model.explain(matrix[0], float(probabilities[0]), top_k=top_k)
+
+    def explain_pairs(
+        self, pairs: list[RecordPair], top_rules: int | None = None
+    ) -> list[PairRiskExplanation]:
+        """Decision-level explanations for a batch of pairs.
+
+        One :class:`~repro.risk.model.PairRiskExplanation` per pair, aligned
+        with the input order: fired rules with weight shares, the aggregated
+        equivalence distribution, its θ-confidence probability interval and
+        the risk score (bit-identical to what :meth:`score_chunk` computes
+        for the same pairs).
+        """
+        self._check_fitted()
+        matrix, probabilities, machine_labels = self._classify_pairs(pairs)
+        return self.risk_model.explain_pairs(
+            matrix, probabilities, machine_labels, top_rules=top_rules
+        )
 
     # ------------------------------------------------------------ persistence
     STATE_KIND = "learn_risk_pipeline"

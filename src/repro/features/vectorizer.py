@@ -24,6 +24,7 @@ from ..data.records import RecordPair, Table
 from ..data.schema import AttributeType, Schema
 from ..data.workload import Workload
 from ..exceptions import NotFittedError, PersistenceError
+from ..obs import get_recorder
 from ..serialization import component_state, require_state, state_field
 from ..text.tokenize import idf_weights
 from .metric_registry import MetricSpec, metrics_for_schema
@@ -103,23 +104,27 @@ class PairVectorizer:
         """
         if self._idf_by_attribute is None:
             raise NotFittedError("PairVectorizer.transform called before fit")
-        pairs = list(pairs)
-        matrix = np.empty((len(pairs), len(self.metrics)), dtype=float)
-        if not pairs:
+        # The "vectorize" span lives here, at the lowest shared level, so the
+        # pipeline stages, the streaming loop and the serving cache-miss path
+        # all contribute to one vectorisation total in the metrics snapshot.
+        with get_recorder().span("vectorize"):
+            pairs = list(pairs)
+            matrix = np.empty((len(pairs), len(self.metrics)), dtype=float)
+            if not pairs:
+                return matrix
+            values_by_attribute: dict[str, list[tuple[object, object]]] = {}
+            for column, spec in enumerate(self.metrics):
+                pair_values = values_by_attribute.get(spec.attribute)
+                if pair_values is None:
+                    pair_values = [pair.values(spec.attribute) for pair in pairs]
+                    values_by_attribute[spec.attribute] = pair_values
+                context = self._context_for(spec)
+                function = spec.function
+                matrix[:, column] = [
+                    function(left_value, right_value, context)
+                    for left_value, right_value in pair_values
+                ]
             return matrix
-        values_by_attribute: dict[str, list[tuple[object, object]]] = {}
-        for column, spec in enumerate(self.metrics):
-            pair_values = values_by_attribute.get(spec.attribute)
-            if pair_values is None:
-                pair_values = [pair.values(spec.attribute) for pair in pairs]
-                values_by_attribute[spec.attribute] = pair_values
-            context = self._context_for(spec)
-            function = spec.function
-            matrix[:, column] = [
-                function(left_value, right_value, context)
-                for left_value, right_value in pair_values
-            ]
-        return matrix
 
     def fit_transform(self, workload: Workload) -> np.ndarray:
         """Fit on the workload's tables and transform its pairs in one call."""

@@ -1,0 +1,140 @@
+"""Streaming histograms: bounded-memory quantile estimates for hot-path timings.
+
+The observability layer must be able to report p50/p95/p99 of quantities it
+sees millions of times (batch latencies, span durations, queue depths) without
+keeping the observations.  :class:`StreamingHistogram` keeps exact ``count``,
+``sum``, ``min`` and ``max`` plus a sparse dict of log-spaced bucket counters,
+so memory is O(distinct magnitudes) — a few dozen buckets for any realistic
+latency distribution — and a quantile is answered by a cumulative walk over
+the sorted buckets.
+
+Accuracy is bounded by construction: consecutive bucket boundaries differ by
+``growth`` (default 1.08), and a quantile is reported as the geometric mean of
+its bucket's bounds, so the relative error of any quantile is at most
+``sqrt(growth) - 1`` (~4% at the default) — tight enough for operator-facing
+p95/p99 while staying fully deterministic (no sampling, no RNG).  Non-positive
+observations (a zero-duration span, a zero queue depth) share one exact
+bucket at value 0.0.
+
+Everything here is dependency-free and single-threaded; thread safety is the
+job of the owning :class:`~repro.obs.registry.MetricsRegistry`, which guards
+every mutation with its lock.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Ratio between consecutive bucket boundaries.  Relative quantile error is
+#: bounded by sqrt(growth) - 1, so 1.08 keeps every reported quantile within
+#: ~4% of the exact order statistic.
+DEFAULT_GROWTH = 1.08
+
+#: The quantiles every snapshot reports.
+SNAPSHOT_QUANTILES = (0.5, 0.95, 0.99)
+
+
+class StreamingHistogram:
+    """A log-bucketed streaming histogram (see module docstring).
+
+    Parameters
+    ----------
+    growth:
+        Ratio between consecutive bucket boundaries; must be > 1.  Smaller
+        values trade memory (more buckets) for tighter quantile error.
+    """
+
+    __slots__ = ("growth", "_log_growth", "count", "total", "minimum", "maximum",
+                 "_buckets", "_nonpositive")
+
+    def __init__(self, growth: float = DEFAULT_GROWTH) -> None:
+        if growth <= 1.0:
+            raise ValueError(f"histogram growth must be > 1, got {growth}")
+        self.growth = float(growth)
+        self._log_growth = math.log(self.growth)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        #: bucket index -> observation count; bucket b spans
+        #: (growth**b, growth**(b+1)].
+        self._buckets: dict[int, int] = {}
+        #: observations <= 0 (durations and depths are non-negative, so this
+        #: is almost always the exact-zero bucket).
+        self._nonpositive = 0
+
+    # ---------------------------------------------------------------- recording
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if value <= 0.0:
+            self._nonpositive += 1
+            return
+        bucket = math.ceil(math.log(value) / self._log_growth) - 1
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+
+    def merge(self, other: "StreamingHistogram") -> None:
+        """Fold another histogram of the same growth into this one."""
+        if other.growth != self.growth:
+            raise ValueError("cannot merge histograms with different growth factors")
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        self._nonpositive += other._nonpositive
+        for bucket, bucket_count in other._buckets.items():
+            self._buckets[bucket] = self._buckets.get(bucket, 0) + bucket_count
+
+    # ----------------------------------------------------------------- reading
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0 < q < 1) of everything observed.
+
+        The estimate is the geometric midpoint of the bucket containing the
+        target rank, clamped to the exact observed ``[min, max]`` envelope —
+        so single-value streams and the extreme quantiles are exact.
+        """
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        if self.count == 0:
+            return 0.0
+        # Rank of the target observation, 1-based, matching the "lower"
+        # interpolation of an order statistic.
+        rank = max(1, math.ceil(q * self.count))
+        if rank <= self._nonpositive:
+            # All non-positive observations collapse into min(..., 0.0).
+            return min(self.minimum, 0.0)
+        cumulative = self._nonpositive
+        for bucket in sorted(self._buckets):
+            cumulative += self._buckets[bucket]
+            if cumulative >= rank:
+                lower = self.growth ** bucket
+                upper = self.growth ** (bucket + 1)
+                estimate = math.sqrt(lower * upper)
+                return min(max(estimate, self.minimum), self.maximum)
+        return self.maximum  # pragma: no cover - rank <= count by construction
+
+    def snapshot(self) -> dict[str, float]:
+        """JSON-safe summary: count, sum, mean, min, max and the standard quantiles."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        summary = {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+        for q in SNAPSHOT_QUANTILES:
+            summary[f"p{int(q * 100)}"] = self.quantile(q)
+        return summary

@@ -40,6 +40,12 @@ class ChunkScores:
     explanations:
         Rule-level explanations of the ``explain_top`` riskiest pairs of the
         chunk, keyed by in-chunk pair index.
+    worker, worker_seconds, rebuild_seconds:
+        Telemetry stamped by pool workers (:mod:`repro.parallel.engine`):
+        which worker scored the chunk (``pid-<n>`` / thread name), its scoring
+        wall-clock, and — on the first chunk a worker returns — the one-time
+        cost of rebuilding its pipeline from state.  Pure observability:
+        excluded from :meth:`__eq__`, so the parity contract is untouched.
     """
 
     probabilities: np.ndarray
@@ -47,6 +53,9 @@ class ChunkScores:
     risk_scores: np.ndarray
     ranking: np.ndarray
     explanations: dict[int, list[FeatureExplanation]] = field(default_factory=dict)
+    worker: str | None = None
+    worker_seconds: float = 0.0
+    rebuild_seconds: float = 0.0
 
     def __len__(self) -> int:
         return len(self.risk_scores)

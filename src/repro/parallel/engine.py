@@ -34,13 +34,17 @@ that scores with the parent pipeline directly.
 
 from __future__ import annotations
 
+import dataclasses
+import os
 import threading
+import time
 from collections import deque
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
 from ..data.records import RecordPair
 from ..exceptions import ConfigurationError, NotFittedError
+from ..obs import get_recorder
 from .chunks import ChunkScores
 from .config import ExecutionConfig
 
@@ -54,6 +58,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (compose imports us)
 #: scores.  Module-global because process pools can only reach workers through
 #: module-level functions.
 _WORKER_PIPELINE: "StagedPipeline | None" = None
+
+#: One-time pipeline rebuild cost of this worker process, stamped onto the
+#: first chunk it returns (then reset to 0).  Process pools can only report
+#: initializer-side work through a later task result, hence the stash.
+_WORKER_REBUILD_SECONDS: float = 0.0
 
 
 def _pipeline_from_state(state: dict) -> "StagedPipeline":
@@ -73,20 +82,33 @@ def _pipeline_from_state(state: dict) -> "StagedPipeline":
 
 def _initialize_process_worker(state: dict) -> None:
     """Process-pool initializer: build this worker's pipeline exactly once."""
-    global _WORKER_PIPELINE
+    global _WORKER_PIPELINE, _WORKER_REBUILD_SECONDS
+    start = time.perf_counter()
     _WORKER_PIPELINE = _pipeline_from_state(state)
+    _WORKER_REBUILD_SECONDS = time.perf_counter() - start
 
 
 def _score_chunk_in_process(pairs: list[RecordPair], explain_top: int) -> ChunkScores:
     """Score one chunk with this process's warmed pipeline."""
+    global _WORKER_REBUILD_SECONDS
     assert _WORKER_PIPELINE is not None, "process worker was not initialised"
-    return _WORKER_PIPELINE.score_chunk(pairs, explain_top=explain_top)
+    start = time.perf_counter()
+    scores = _WORKER_PIPELINE.score_chunk(pairs, explain_top=explain_top)
+    elapsed = time.perf_counter() - start
+    rebuild, _WORKER_REBUILD_SECONDS = _WORKER_REBUILD_SECONDS, 0.0
+    return dataclasses.replace(
+        scores,
+        worker=f"pid-{os.getpid()}",
+        worker_seconds=elapsed,
+        rebuild_seconds=rebuild,
+    )
 
 
 class _ThreadWorkerPipelines(threading.local):
     """One lazily-built pipeline clone per pool thread (never shared)."""
 
     pipeline: "StagedPipeline | None" = None
+    rebuild_seconds: float = 0.0
 
 
 # ------------------------------------------------------------ parent side
@@ -144,8 +166,19 @@ class ParallelScoringEngine:
         """Score one chunk with this thread's private pipeline clone."""
         local = self._thread_pipelines
         if local.pipeline is None:
+            build_start = time.perf_counter()
             local.pipeline = _pipeline_from_state(self._pipeline_state())
-        return local.pipeline.score_chunk(pairs, explain_top=explain_top)
+            local.rebuild_seconds = time.perf_counter() - build_start
+        start = time.perf_counter()
+        scores = local.pipeline.score_chunk(pairs, explain_top=explain_top)
+        elapsed = time.perf_counter() - start
+        rebuild, local.rebuild_seconds = local.rebuild_seconds, 0.0
+        return dataclasses.replace(
+            scores,
+            worker=threading.current_thread().name,
+            worker_seconds=elapsed,
+            rebuild_seconds=rebuild,
+        )
 
     def _get_executor(self, backend: str) -> Executor:
         if self._closed:
@@ -212,17 +245,43 @@ class ParallelScoringEngine:
         # submission order (so completion order cannot reorder anything) and
         # at most `window` chunks are in flight, which bounds parent memory.
         pending: deque[tuple[list[RecordPair], Any]] = deque()
+        recorder = get_recorder()
+        window = self.config.window
+
+        def drain_head() -> tuple[list[RecordPair], ChunkScores]:
+            """Await the oldest in-flight chunk, recording merge telemetry."""
+            in_flight = len(pending)
+            ready_chunk, future = pending.popleft()
+            wait_start = time.perf_counter()
+            scores = future.result()
+            recorder.observe("parallel.chunk_wait_seconds", time.perf_counter() - wait_start)
+            recorder.observe("parallel.queue_depth", in_flight)
+            recorder.observe("parallel.window_occupancy", in_flight / window)
+            recorder.count("parallel.chunks")
+            recorder.count("parallel.pairs", len(ready_chunk))
+            if scores.worker_seconds:
+                recorder.observe("parallel.worker_chunk_seconds", scores.worker_seconds)
+                if scores.worker:
+                    # One histogram per worker (bounded by pool size): makes
+                    # load imbalance visible in the snapshot and gives the
+                    # benchmarks their per-worker chunk timings.
+                    recorder.observe(
+                        f"parallel.worker.{scores.worker}.chunk_seconds",
+                        scores.worker_seconds,
+                    )
+            if scores.rebuild_seconds:
+                recorder.observe("parallel.worker_rebuild_seconds", scores.rebuild_seconds)
+            return ready_chunk, scores
+
         try:
             for chunk in chunks:
                 if not chunk:
                     continue
                 pending.append((chunk, submit(chunk)))
-                if len(pending) >= self.config.window:
-                    ready_chunk, future = pending.popleft()
-                    yield ready_chunk, future.result()
+                if len(pending) >= window:
+                    yield drain_head()
             while pending:
-                ready_chunk, future = pending.popleft()
-                yield ready_chunk, future.result()
+                yield drain_head()
         finally:
             for _, future in pending:
                 future.cancel()

@@ -29,12 +29,14 @@ import numpy as np
 from ..data.records import MATCH
 from ..exceptions import ConfigurationError, NotFittedError, PersistenceError
 from ..features.vectorizer import PairVectorizer
+from ..obs import get_recorder
 from ..serialization import (
     component_state,
     dataclass_from_dict,
     require_state,
     state_field,
 )
+from .distributions import truncated_normal_quantile
 from .feature_generation import GeneratedRiskFeatures
 from .metrics import resolve_risk_metric
 from ..numerics import batch_invariant_matvec
@@ -56,6 +58,67 @@ class FeatureExplanation:
     weight_share: float
     expectation: float
     is_classifier_output: bool
+
+
+@dataclass(frozen=True)
+class RuleContribution:
+    """One risk feature's contribution to a pair's aggregated distribution.
+
+    ``rule_index`` is the feature's position in the model's rule list, or
+    ``-1`` for the classifier-output feature; ``weight_share`` is its share of
+    the pair's total portfolio weight (shares of one pair sum to 1).
+    """
+
+    rule_index: int
+    description: str
+    weight_share: float
+    expectation: float
+
+    @property
+    def is_classifier_output(self) -> bool:
+        return self.rule_index == -1
+
+    def to_dict(self) -> dict:
+        return {
+            "rule_index": self.rule_index,
+            "description": self.description,
+            "weight_share": self.weight_share,
+            "expectation": self.expectation,
+            "is_classifier_output": self.is_classifier_output,
+        }
+
+
+@dataclass(frozen=True)
+class PairRiskExplanation:
+    """Decision-level telemetry for one scored pair.
+
+    The full interpretability payload the paper motivates: which rules fired
+    on the pair (with their portfolio weight shares), the aggregated
+    equivalence-probability distribution behind the score, and the central
+    ``2θ−1`` probability interval ``[interval_low, interval_high]`` of that
+    (truncated-normal) distribution at the model's VaR confidence θ.
+    """
+
+    machine_probability: float
+    machine_label: int
+    risk_score: float
+    equivalence_mean: float
+    equivalence_std: float
+    interval_low: float
+    interval_high: float
+    fired_rules: list[RuleContribution]
+
+    def to_dict(self) -> dict:
+        return {
+            "machine_probability": self.machine_probability,
+            "machine_label": self.machine_label,
+            "risk_score": self.risk_score,
+            "equivalence_mean": self.equivalence_mean,
+            "equivalence_std": self.equivalence_std,
+            "interval_low": self.interval_low,
+            "interval_high": self.interval_high,
+            "fired_rules": [rule.to_dict() for rule in self.fired_rules],
+        }
 
 
 class LearnRiskModel:
@@ -199,22 +262,36 @@ class LearnRiskModel:
         """Aggregate the equivalence-probability distribution of each pair."""
         metric_matrix = np.asarray(metric_matrix, dtype=float)
         machine_probabilities = np.asarray(machine_probabilities, dtype=float)
-        membership = self.features.membership(metric_matrix)
-        rule_means = self.rule_expectations
-        rule_stds = self.rule_rsds * rule_means if len(rule_means) else np.array([])
-        output_bins = output_bin_matrix(machine_probabilities, self.n_output_bins)
-        # Batch-invariant matvec (repro.numerics): streamed chunked scoring
-        # must be bit-identical to the eager path at any chunk size.
-        output_rsd = batch_invariant_matvec(output_bins, self.output_rsds)
-        return aggregate_portfolio(
-            membership,
-            self.rule_weights,
-            rule_means,
-            rule_stds,
-            output_weights=self.influence_weight(machine_probabilities),
-            output_means=machine_probabilities,
-            output_stds=output_rsd * machine_probabilities,
-        )
+        with get_recorder().span("rule_kernel"):
+            membership = self.features.membership(metric_matrix)
+        return self._distribution_from_membership(membership, machine_probabilities)
+
+    def _distribution_from_membership(
+        self,
+        membership: np.ndarray,
+        machine_probabilities: np.ndarray,
+    ) -> PortfolioDistribution:
+        """Portfolio aggregation over a precomputed membership matrix.
+
+        Split out of :meth:`distribution` so :meth:`explain_pairs` can reuse
+        the membership it needs anyway without computing rule coverage twice.
+        """
+        with get_recorder().span("aggregate"):
+            rule_means = self.rule_expectations
+            rule_stds = self.rule_rsds * rule_means if len(rule_means) else np.array([])
+            output_bins = output_bin_matrix(machine_probabilities, self.n_output_bins)
+            # Batch-invariant matvec (repro.numerics): streamed chunked scoring
+            # must be bit-identical to the eager path at any chunk size.
+            output_rsd = batch_invariant_matvec(output_bins, self.output_rsds)
+            return aggregate_portfolio(
+                membership,
+                self.rule_weights,
+                rule_means,
+                rule_stds,
+                output_weights=self.influence_weight(machine_probabilities),
+                output_means=machine_probabilities,
+                output_stds=output_rsd * machine_probabilities,
+            )
 
     # ----------------------------------------------------------------- score
     def score(
@@ -230,11 +307,12 @@ class LearnRiskModel:
         is required for the learned behaviour evaluated in the paper.
         """
         machine_labels = np.asarray(machine_labels, dtype=int)
-        distribution = self.distribution(metric_matrix, machine_probabilities)
-        return np.asarray(
-            self._risk_metric_function(distribution, machine_labels, theta=self.config.theta),
-            dtype=float,
-        )
+        with get_recorder().span("risk_score"):
+            distribution = self.distribution(metric_matrix, machine_probabilities)
+            return np.asarray(
+                self._risk_metric_function(distribution, machine_labels, theta=self.config.theta),
+                dtype=float,
+            )
 
     def rank(
         self,
@@ -287,6 +365,90 @@ class LearnRiskModel:
         if top_k is not None:
             explanations = explanations[:top_k]
         return explanations
+
+    def _rule_contributions(
+        self, membership_row: np.ndarray, machine_probability: float
+    ) -> list[RuleContribution]:
+        """The fired features of one pair as :class:`RuleContribution` entries."""
+        output_weight = float(self.influence_weight(np.array([machine_probability]))[0])
+        contributions = feature_contributions(
+            membership_row, self.rule_weights, self.rule_expectations,
+            output_weight=output_weight, output_mean=machine_probability,
+        )
+        fired: list[RuleContribution] = []
+        for feature_index, share in contributions:
+            if feature_index == -1:
+                fired.append(RuleContribution(
+                    rule_index=-1,
+                    description=f"classifier output = {machine_probability:.3f}",
+                    weight_share=share,
+                    expectation=float(machine_probability),
+                ))
+            else:
+                rule = self.features.rules[feature_index]
+                fired.append(RuleContribution(
+                    rule_index=int(feature_index),
+                    description=rule.describe(),
+                    weight_share=share,
+                    expectation=rule.expectation,
+                ))
+        return fired
+
+    def explain_pairs(
+        self,
+        metric_matrix: np.ndarray,
+        machine_probabilities: np.ndarray,
+        machine_labels: np.ndarray,
+        top_rules: int | None = None,
+    ) -> list[PairRiskExplanation]:
+        """Full decision-level explanations, one per pair.
+
+        For every pair: the rules that fired on it (with portfolio weight
+        shares), its aggregated equivalence-probability distribution, the
+        central probability interval at the model's VaR confidence θ
+        (``[F⁻¹(1−θ), F⁻¹(θ)]`` of the truncated normal), and its risk score —
+        the batched, serialisable counterpart of :meth:`explain`.
+        ``top_rules`` truncates each pair's rule list (highest weight share
+        first, matching :meth:`explain`'s ordering).
+        """
+        metric_matrix = np.asarray(metric_matrix, dtype=float)
+        machine_probabilities = np.asarray(machine_probabilities, dtype=float)
+        machine_labels = np.asarray(machine_labels, dtype=int)
+        with get_recorder().span("explain_pairs"):
+            membership = self.features.membership(metric_matrix)
+            distribution = self._distribution_from_membership(
+                membership, machine_probabilities
+            )
+            risk_scores = np.asarray(
+                self._risk_metric_function(
+                    distribution, machine_labels, theta=self.config.theta
+                ),
+                dtype=float,
+            )
+            theta = self.config.theta
+            stds = distribution.stds
+            interval_lows = truncated_normal_quantile(
+                distribution.means, stds, 1.0 - theta
+            )
+            interval_highs = truncated_normal_quantile(distribution.means, stds, theta)
+            explanations: list[PairRiskExplanation] = []
+            for row in range(len(metric_matrix)):
+                fired = self._rule_contributions(
+                    membership[row], float(machine_probabilities[row])
+                )
+                if top_rules is not None:
+                    fired = fired[:top_rules]
+                explanations.append(PairRiskExplanation(
+                    machine_probability=float(machine_probabilities[row]),
+                    machine_label=int(machine_labels[row]),
+                    risk_score=float(risk_scores[row]),
+                    equivalence_mean=float(distribution.means[row]),
+                    equivalence_std=float(stds[row]),
+                    interval_low=float(interval_lows[row]),
+                    interval_high=float(interval_highs[row]),
+                    fired_rules=fired,
+                ))
+            return explanations
 
     # ------------------------------------------------------------ persistence
     STATE_KIND = "learn_risk_model"

@@ -25,6 +25,19 @@ Three subcommands cover the model lifecycle:
     bit-identical numbers, just faster on multi-core machines.
 ``inspect``
     Print a saved model's manifest and risk-model summary without scoring.
+``explain``
+    Load a saved pipeline and emit decision-level explanations (fired rules
+    with portfolio weight shares, the equivalence-probability interval, the
+    risk score) for the riskiest pairs of a workload, as JSON.
+``stats``
+    Pretty-print a metrics snapshot written by ``score --metrics-out`` (or by
+    :meth:`repro.obs.MetricsRegistry.write_json` anywhere else): counters,
+    span time totals and serving throughput at a glance.
+
+``score --metrics-out metrics.json`` records the whole pass — pipeline spans
+(vectorize / classify / rule_kernel / aggregate), serving counters, batch
+latency histograms — into one JSON snapshot.  Recording never changes the
+scores: output CSVs are byte-identical with and without it.
 
 The CSV layout is the one of :mod:`repro.data.io` (``<name>_left.csv``,
 ``<name>_right.csv``, ``<name>_matches.csv``, optional ``<name>_pairs.csv``);
@@ -41,6 +54,7 @@ import argparse
 import csv
 import json
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Sequence
 
@@ -60,7 +74,8 @@ from ..data.schema import Schema
 from ..data.sources import CsvPairSource, InMemorySource, PairSource
 from ..data.workload import Workload
 from ..evaluation.roc import auroc_score, mislabel_indicator
-from ..exceptions import ReproError
+from ..exceptions import DataError, ReproError
+from ..obs import MetricsRegistry, use_recorder
 from ..pipeline import LearnRiskPipeline
 from ..risk.onesided_tree import OneSidedTreeConfig
 from ..risk.training import TrainingConfig
@@ -172,11 +187,31 @@ def _load_source(args: argparse.Namespace, schema: Schema) -> PairSource:
     raise SystemExit("provide either --dataset or --data-dir")
 
 
-def _cmd_score_streaming(args: argparse.Namespace, pipeline) -> int:
+def _metrics_registry(args: argparse.Namespace) -> MetricsRegistry | None:
+    """One registry for the whole score run when ``--metrics-out`` was given.
+
+    The same registry is installed as the global recorder (capturing the
+    pipeline's spans) *and* handed to the service as its statistics sink, so
+    the written snapshot carries spans, serving counters and batch histograms
+    together.
+    """
+    return MetricsRegistry() if getattr(args, "metrics_out", None) else None
+
+
+def _write_metrics(args: argparse.Namespace, metrics: MetricsRegistry | None) -> None:
+    if metrics is not None:
+        path = metrics.write_json(args.metrics_out)
+        print(f"wrote metrics snapshot to {path}")
+
+
+def _cmd_score_streaming(
+    args: argparse.Namespace, pipeline, metrics: MetricsRegistry | None = None
+) -> int:
     """Chunked scoring: bounded memory, scored rows written as they stream."""
     source = _load_source(args, pipeline.vectorizer.schema)
     service = RiskService(
-        pipeline, max_batch_size=args.batch_size, cache_size=args.cache_size
+        pipeline, max_batch_size=args.batch_size, cache_size=args.cache_size,
+        metrics=metrics,
     )
     if args.repeat > 1:
         print("note: --repeat is ignored in streaming mode (one pass per run)")
@@ -198,10 +233,11 @@ def _cmd_score_streaming(args: argparse.Namespace, pipeline) -> int:
     risk_scores: list[float] = []
     ground_truth: list[int] = []
     labeled = True
+    recording = use_recorder(metrics) if metrics is not None else nullcontext()
     try:
         # The service owns a worker pool in parallel mode; close it before the
         # interpreter exits so no process pool is left to atexit teardown.
-        with service:
+        with recording, service:
             for scored in service.score_source(
                 source, chunk_size=args.chunk_size, workers=args.workers
             ):
@@ -236,6 +272,7 @@ def _cmd_score_streaming(args: argparse.Namespace, pipeline) -> int:
         if 0 < risk_labels.sum() < len(risk_labels):
             auroc = auroc_score(risk_labels, np.asarray(risk_scores, dtype=float))
             print(f"  risk ranking AUROC: {auroc:.4f}")
+    _write_metrics(args, metrics)
     return 0
 
 
@@ -249,17 +286,20 @@ def _effective_workers(args: argparse.Namespace, pipeline) -> int:
 
 def _cmd_score(args: argparse.Namespace) -> int:
     pipeline = load_pipeline(args.model)
+    metrics = _metrics_registry(args)
     if args.chunk_size:
-        return _cmd_score_streaming(args, pipeline)
+        return _cmd_score_streaming(args, pipeline, metrics)
     if args.input:
         raise SystemExit("--input requires --chunk-size (it selects the streamed pair file)")
     workload = _load_workload(args, schema=pipeline.vectorizer.schema)
     service = RiskService(
-        pipeline, max_batch_size=args.batch_size, cache_size=args.cache_size
+        pipeline, max_batch_size=args.batch_size, cache_size=args.cache_size,
+        metrics=metrics,
     )
     workers = _effective_workers(args, pipeline)
+    recording = use_recorder(metrics) if metrics is not None else nullcontext()
     results = []
-    with service:  # releases the multi-worker pool, if one was used
+    with recording, service:  # releases the multi-worker pool, if one was used
         for _ in range(args.repeat):
             results = service.score_workload(workload, workers=args.workers)
 
@@ -292,6 +332,83 @@ def _cmd_score(args: argparse.Namespace) -> int:
         risk_labels = mislabel_indicator(machine_labels, workload.labels())
         if 0 < risk_labels.sum() < len(risk_labels):
             print(f"  risk ranking AUROC: {auroc_score(risk_labels, risk_scores):.4f}")
+    _write_metrics(args, metrics)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Emit decision-level explain payloads for the riskiest pairs, as JSON."""
+    pipeline = load_pipeline(args.model)
+    workload = _load_workload(args, schema=pipeline.vectorizer.schema)
+    pairs = list(workload.pairs)
+    explanations = pipeline.explain_pairs(pairs, top_rules=args.rules)
+    risk_scores = np.array(
+        [explanation.risk_score for explanation in explanations], dtype=float
+    )
+    order = np.argsort(-risk_scores, kind="stable")
+    if args.top is not None:
+        order = order[:args.top]
+    payload = []
+    for index in order:
+        left_id, right_id = pairs[int(index)].pair_id
+        payload.append({
+            "left_id": left_id,
+            "right_id": right_id,
+            **explanations[int(index)].to_dict(),
+        })
+    document = json.dumps(payload, indent=2)
+    if args.output:
+        output = Path(args.output)
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(document + "\n")
+        print(f"wrote {len(payload)} explanations to {output}")
+    else:
+        print(document)
+    return 0
+
+
+def _format_seconds(seconds: float) -> str:
+    return f"{seconds * 1000.0:.1f}ms" if seconds < 1.0 else f"{seconds:.2f}s"
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Pretty-print a metrics snapshot written by ``score --metrics-out``."""
+    path = Path(args.metrics)
+    if not path.is_file():
+        raise DataError(f"metrics snapshot {path} does not exist")
+    try:
+        snapshot = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise DataError(f"metrics snapshot {path} is not valid JSON: {exc}") from exc
+    if not isinstance(snapshot, dict):
+        raise DataError(f"metrics snapshot {path} is not a JSON object")
+    print(f"metrics snapshot {args.metrics} (schema v{snapshot.get('version', '?')})")
+    counters = snapshot.get("counters", {})
+    if counters:
+        print("counters:")
+        for name in sorted(counters):
+            value = counters[name]
+            text = f"{value:.3f}" if isinstance(value, float) and value != int(value) else f"{int(value)}"
+            print(f"  {name}: {text}")
+    totals = snapshot.get("span_totals", {})
+    if totals:
+        print("time by span (leaf totals):")
+        grand_total = sum(totals.values()) or 1.0
+        ranked = sorted(totals.items(), key=lambda item: -item[1])
+        for name, seconds in ranked[:args.spans]:
+            print(f"  {name}: {_format_seconds(seconds)} ({seconds / grand_total:.1%})")
+    histograms = snapshot.get("histograms", {})
+    batch = histograms.get("service.batch_seconds")
+    if batch and batch.get("count"):
+        print(
+            f"batch latency: p50 {_format_seconds(batch['p50'])}  "
+            f"p95 {_format_seconds(batch['p95'])}  "
+            f"p99 {_format_seconds(batch['p99'])} over {int(batch['count'])} batches"
+        )
+    pairs = counters.get("service.pairs_scored", 0)
+    seconds = counters.get("service.scoring_seconds", 0.0)
+    if pairs and seconds:
+        print(f"throughput: {pairs / seconds:.1f} pairs/s ({int(pairs)} pairs)")
     return 0
 
 
@@ -373,6 +490,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="score with this many pool workers (sharded, deterministic "
                             "order, bit-identical output; default: the model spec's "
                             "execution config, else 1)")
+    score.add_argument("--metrics-out",
+                       help="write a JSON metrics snapshot of the run (spans, "
+                            "serving counters, latency histograms) to this file; "
+                            "never changes the scores")
     score.set_defaults(handler=_cmd_score)
 
     inspect = subparsers.add_parser("inspect", help="describe a saved model")
@@ -380,6 +501,27 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--rules", type=int, default=5,
                          help="number of rules to print (default 5)")
     inspect.set_defaults(handler=_cmd_inspect)
+
+    explain = subparsers.add_parser(
+        "explain", help="emit fired-rule explain payloads for the riskiest pairs"
+    )
+    add_workload_arguments(explain, with_schema=False)
+    explain.add_argument("--model", required=True, help="saved model directory")
+    explain.add_argument("--top", type=_positive_int, default=10,
+                         help="number of riskiest pairs to explain (default 10)")
+    explain.add_argument("--rules", type=_positive_int, default=None,
+                         help="max fired rules per pair (default: all)")
+    explain.add_argument("--output", help="write the JSON document here instead of stdout")
+    explain.set_defaults(handler=_cmd_explain)
+
+    stats = subparsers.add_parser(
+        "stats", help="pretty-print a metrics snapshot from score --metrics-out"
+    )
+    stats.add_argument("--metrics", required=True,
+                       help="metrics snapshot JSON written by score --metrics-out")
+    stats.add_argument("--spans", type=_positive_int, default=10,
+                       help="number of span totals to show (default 10)")
+    stats.set_defaults(handler=_cmd_stats)
     return parser
 
 

@@ -33,7 +33,8 @@ source order, bit-identical to the serial path.  The service itself is never
 shipped to workers — it holds a lock and a mutable LRU cache, both of which
 are process-local by design; workers rebuild the *pipeline* from its
 picklable state instead.  Parallel passes therefore bypass the vectorisation
-cache (counted as misses in the statistics).
+cache; the statistics count those pairs separately (``cache_bypassed``) so
+the hit rate keeps describing only lookups the cache actually served.
 """
 
 from __future__ import annotations
@@ -51,7 +52,9 @@ from ..data.records import RecordPair
 from ..data.sources import PairSource, as_pair_source
 from ..data.workload import Workload
 from ..exceptions import ConfigurationError, NotFittedError
+from ..obs import MetricsRegistry
 from ..parallel.config import ExecutionConfig
+from ..risk.model import PairRiskExplanation
 
 #: Identity of a record pair: source + id of both sides.
 PairKey = tuple[str, str, str, str]
@@ -101,29 +104,76 @@ class PendingScore:
 
 
 class ServiceStats:
-    """Mutable serving counters with a JSON-safe :meth:`snapshot`."""
+    """Serving counters backed by a :class:`~repro.obs.MetricsRegistry`.
 
-    def __init__(self) -> None:
-        self.pairs_scored = 0
-        self.batches = 0
-        self.largest_batch = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.scoring_seconds = 0.0
+    The legacy attribute surface (``stats.cache_hits``, ``stats.snapshot()``
+    and friends) is unchanged, but the storage is now a metrics registry —
+    pass the registry the rest of the process records into (e.g. the one
+    installed with :func:`repro.obs.use_recorder`) and one JSON snapshot
+    carries the serving counters next to the pipeline's span timings.  All
+    counters live under the ``service.`` prefix; batch latencies additionally
+    feed the ``service.batch_seconds`` histogram (p50/p95/p99 in the registry
+    snapshot).
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
 
     def record_batch(self, batch_size: int, seconds: float) -> None:
-        self.pairs_scored += batch_size
-        self.batches += 1
-        self.largest_batch = max(self.largest_batch, batch_size)
-        self.scoring_seconds += seconds
+        registry = self.registry
+        registry.count("service.pairs_scored", batch_size)
+        registry.count("service.batches")
+        registry.count("service.scoring_seconds", seconds)
+        registry.observe("service.batch_seconds", seconds)
+        registry.observe("service.batch_size", batch_size)
+        if batch_size > registry.gauge_value("service.largest_batch"):
+            registry.gauge("service.largest_batch", batch_size)
 
     def record_cache(self, hits: int, misses: int) -> None:
-        self.cache_hits += hits
-        self.cache_misses += misses
+        self.registry.count("service.cache_hits", hits)
+        self.registry.count("service.cache_misses", misses)
+
+    def record_bypass(self, pairs: int) -> None:
+        """Count pairs scored without consulting the cache (parallel passes)."""
+        self.registry.count("service.cache_bypassed", pairs)
+
+    @property
+    def pairs_scored(self) -> int:
+        return int(self.registry.counter_value("service.pairs_scored"))
+
+    @property
+    def batches(self) -> int:
+        return int(self.registry.counter_value("service.batches"))
+
+    @property
+    def largest_batch(self) -> int:
+        return int(self.registry.gauge_value("service.largest_batch"))
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self.registry.counter_value("service.cache_hits"))
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self.registry.counter_value("service.cache_misses"))
+
+    @property
+    def cache_bypassed(self) -> int:
+        """Pairs scored on paths that never consulted the cache."""
+        return int(self.registry.counter_value("service.cache_bypassed"))
+
+    @property
+    def scoring_seconds(self) -> float:
+        return float(self.registry.counter_value("service.scoring_seconds"))
 
     @property
     def cache_hit_rate(self) -> float:
-        """Fraction of vectorisation lookups served from the cache."""
+        """Fraction of actual vectorisation lookups served from the cache.
+
+        Bypassing paths (multi-worker scoring, which vectorises inside the
+        workers) are excluded: they never looked the pairs up, so counting
+        them as misses would dilute the rate of the cache that *was* used.
+        """
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
 
@@ -147,6 +197,7 @@ class ServiceStats:
             "mean_batch_size": self.mean_batch_size,
             "cache_hits": float(self.cache_hits),
             "cache_misses": float(self.cache_misses),
+            "cache_bypassed": float(self.cache_bypassed),
             "cache_hit_rate": self.cache_hit_rate,
             "scoring_seconds": self.scoring_seconds,
             "pairs_per_second": self.pairs_per_second,
@@ -167,6 +218,12 @@ class RiskService:
     cache_size:
         Maximum number of metric vectors kept in the LRU vectorisation cache;
         0 disables caching.
+    metrics:
+        A :class:`~repro.obs.MetricsRegistry` the serving statistics record
+        into; defaults to a private registry.  Pass the registry installed as
+        the global recorder to get one combined snapshot (service counters
+        plus pipeline spans) — the serve CLI's ``--metrics-out`` does exactly
+        that.
     """
 
     def __init__(
@@ -175,6 +232,7 @@ class RiskService:
         *,
         max_batch_size: int = 256,
         cache_size: int = 4096,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if not pipeline.is_fitted:
             raise NotFittedError("RiskService requires a fitted pipeline")
@@ -185,7 +243,7 @@ class RiskService:
         self.pipeline = pipeline
         self.max_batch_size = max_batch_size
         self.cache_size = cache_size
-        self.stats = ServiceStats()
+        self.stats = ServiceStats(metrics)
         self._lock = threading.RLock()
         self._cache: OrderedDict[PairKey, np.ndarray] = OrderedDict()
         self._buffer: list[tuple[RecordPair, PendingScore]] = []
@@ -297,6 +355,27 @@ class RiskService:
         """Risk scores only, as an array aligned with ``pairs``."""
         return np.array([scored.risk_score for scored in self.score_pairs(pairs)], dtype=float)
 
+    def explain_pairs(
+        self, pairs: Iterable[RecordPair], top_rules: int | None = None
+    ) -> list[PairRiskExplanation]:
+        """Decision-level explanations through the serving path.
+
+        Vectorisation goes through the service's LRU cache (and counts in the
+        statistics) exactly like scoring, so explaining recently scored pairs
+        is cheap; the payloads are the same
+        :class:`~repro.risk.model.PairRiskExplanation` objects the pipeline
+        API returns, with risk scores bit-identical to :meth:`score_pairs`.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        with self._lock:
+            matrix = self._vectorize(pairs)
+            probabilities, machine_labels = self.pipeline.classify_matrix(matrix)
+            return self.pipeline.risk_model.explain_pairs(
+                matrix, probabilities, machine_labels, top_rules=top_rules
+            )
+
     def score_source(
         self,
         source: PairSource | Workload,
@@ -387,11 +466,13 @@ class RiskService:
             chunk, scores = batch
             elapsed = time.perf_counter() - start
             # Workers vectorise in their own processes; the parent-side LRU
-            # cache is bypassed, which the statistics count as misses.  The
-            # stats object is shared with the serial path, so updates happen
-            # under the service lock like every other writer.
+            # cache is never consulted, so these pairs are counted as
+            # *bypassed* — not as misses, which would dilute the hit rate of
+            # lookups the cache actually served.  The stats object is shared
+            # with the serial path, so updates happen under the service lock
+            # like every other writer.
             with self._lock:
-                self.stats.record_cache(hits=0, misses=len(chunk))
+                self.stats.record_bypass(len(chunk))
                 self.stats.record_batch(len(chunk), elapsed)
             for index, pair in enumerate(chunk):
                 yield ScoredPair(

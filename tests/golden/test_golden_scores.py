@@ -102,3 +102,71 @@ class TestGoldenScores:
         first = score_to_csv(fitted_model_dir, tmp_path / "first.csv")
         second = score_to_csv(fitted_model_dir, tmp_path / "second.csv")
         assert first == second
+
+    def test_observability_does_not_change_a_single_byte(
+        self, fitted_model_dir, tmp_path
+    ):
+        # Instrumentation is read-only with respect to the computation: the
+        # same CSV must come out with metrics capture on, in every scoring
+        # mode, and the captured snapshot must separate the stage costs.
+        plain = score_to_csv(fitted_model_dir, tmp_path / "plain.csv")
+        metrics_path = tmp_path / "metrics.json"
+        observed = score_to_csv(
+            fitted_model_dir, tmp_path / "observed.csv",
+            "--metrics-out", str(metrics_path),
+        )
+        assert observed == plain
+        sharded = score_to_csv(
+            fitted_model_dir, tmp_path / "sharded.csv",
+            "--chunk-size", "7", "--workers", "2",
+            "--metrics-out", str(tmp_path / "sharded-metrics.json"),
+        )
+        assert sharded == plain
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["version"] == 1
+        for stage in ("vectorize", "classify", "rule_kernel", "aggregate", "risk_score"):
+            assert stage in snapshot["span_totals"], f"missing span {stage!r}"
+        assert snapshot["counters"]["service.pairs_scored"] > 0
+
+
+class TestExplainAndStatsCli:
+    def test_explain_emits_fired_rule_payloads(self, fitted_model_dir, tmp_path):
+        output = tmp_path / "explain.json"
+        exit_code = serve_cli([
+            "explain",
+            "--model", str(fitted_model_dir),
+            "--data-dir", str(DATA_DIR),
+            "--name", WORKLOAD_NAME,
+            "--top", "3",
+            "--output", str(output),
+        ])
+        assert exit_code == 0
+        payload = json.loads(output.read_text())
+        assert len(payload) == 3
+        for entry in payload:
+            assert {"left_id", "right_id", "machine_probability", "risk_score",
+                    "interval_low", "interval_high", "fired_rules"} <= set(entry)
+            assert entry["fired_rules"], "explain payload without fired rules"
+            assert any(rule["is_classifier_output"] for rule in entry["fired_rules"])
+        # Ranked by risk, highest first — same ordering as the score CSV.
+        risks = [entry["risk_score"] for entry in payload]
+        assert risks == sorted(risks, reverse=True)
+
+    def test_stats_rejects_missing_and_corrupt_snapshots(self, tmp_path, capsys):
+        # CLI error contract: exit 1 with "error: ...", never a traceback.
+        assert serve_cli(["stats", "--metrics", str(tmp_path / "missing.json")]) == 1
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{not json")
+        assert serve_cli(["stats", "--metrics", str(corrupt)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_stats_renders_a_captured_snapshot(self, fitted_model_dir, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        score_to_csv(
+            fitted_model_dir, tmp_path / "scores.csv", "--metrics-out", str(metrics_path)
+        )
+        exit_code = serve_cli(["stats", "--metrics", str(metrics_path)])
+        assert exit_code == 0
+        rendered = capsys.readouterr().out
+        assert "vectorize" in rendered
+        assert "service.pairs_scored" in rendered

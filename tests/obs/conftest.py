@@ -1,0 +1,44 @@
+"""Shared fixtures of the observability suite.
+
+One small fitted pipeline (logistic classifier, shallow rules) plus a held-out
+scoring chunk, shared at session scope by the instrumentation-parity and
+explain-payload tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compose import PipelineSpec, build_pipeline
+from repro.data import split_workload
+
+SPEC_VALUES = {
+    "classifier": {"kind": "logistic", "params": {"epochs": 25}},
+    "risk_features": {
+        "kind": "onesided_tree",
+        "params": {"tree": {"max_depth": 2, "min_support": 4, "max_thresholds": 24}},
+    },
+    "training": {"epochs": 30},
+    "seed": 0,
+}
+
+
+@pytest.fixture(scope="session")
+def obs_spec_values():
+    return SPEC_VALUES
+
+
+@pytest.fixture(scope="session")
+def obs_split(ds_workload):
+    return split_workload(ds_workload, ratio=(3, 2, 5), seed=0)
+
+
+@pytest.fixture(scope="session")
+def obs_pipeline(obs_split):
+    pipeline = build_pipeline(PipelineSpec.from_dict(SPEC_VALUES))
+    return pipeline.fit(obs_split.train, obs_split.validation)
+
+
+@pytest.fixture(scope="session")
+def scoring_pairs(obs_split):
+    return obs_split.test.pairs[:40]
