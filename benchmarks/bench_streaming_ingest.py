@@ -23,7 +23,12 @@ The ``--smoke`` CI mode additionally guards the streaming contract:
 * the corpus is larger than the chunk size and the streamed peak allocation
   stays below the eager peak (bounded-by-the-chunk working set);
 * ``python -m repro.serve score --chunk-size`` writes byte-identical output
-  to the non-streaming CLI invocation.
+  to the non-streaming CLI invocation;
+* scoring with the batched vectorisation path disabled
+  (``batch_enabled=False``) reproduces the eager risk scores bit for bit;
+* every core token-set metric column dispatches to a batched kernel — a
+  registry regression that silently dropped a ``batch_function`` (sending the
+  column through the scalar per-pair loop) fails the run.
 
 Run directly (``python benchmarks/bench_streaming_ingest.py``), at a custom
 scale (``--scale 2.0 --chunk-size 512``), or as the CI guard
@@ -115,6 +120,30 @@ def run_streamed(
     }
 
 
+#: Metric short names that must never silently fall back to the scalar loop:
+#: the token-set/char/cosine workhorses the batched subsystem exists for.
+CORE_BATCHED_METRICS = frozenset({
+    "jaccard", "overlap", "edit", "jaro_winkler", "cosine_tfidf", "monge_elkan",
+})
+
+
+def run_scalar_control(model_dir: Path, data_dir: Path, name: str, schema) -> np.ndarray:
+    """Eager scoring with batched vectorisation switched off (parity control)."""
+    service = RiskService(load_pipeline(model_dir), max_batch_size=256, cache_size=0)
+    service.pipeline.vectorizer.batch_enabled = False
+    workload = import_workload(data_dir, name, schema)
+    scored = service.score_workload(workload)
+    return np.array([s.risk_score for s in scored])
+
+
+def check_batch_coverage(coverage: dict[str, list[str]]) -> list[str]:
+    """Qualified names of core metrics that lost their batched kernel."""
+    return [
+        name for name in coverage["scalar"]
+        if name.rsplit(".", 1)[-1] in CORE_BATCHED_METRICS
+    ]
+
+
 def cost_split(span_totals: dict[str, float]) -> dict[str, float]:
     """The vectorize-vs-score split of a scoring pass, from its span totals.
 
@@ -203,11 +232,19 @@ def main(argv: list[str] | None = None) -> int:
             model_dir, data_dir, workload.name, schema, chunk_size, directory / "scored.csv"
         )
         cli_parity = run_cli_parity(model_dir, data_dir, workload.name, chunk_size, directory)
+        scalar_scores = run_scalar_control(model_dir, data_dir, workload.name, schema)
+        coverage = load_pipeline(model_dir).vectorizer.batch_coverage()
 
     parity = bool(np.array_equal(eager["risk_scores"], streamed["risk_scores"]))
+    batch_parity = bool(np.array_equal(eager["risk_scores"], scalar_scores))
+    uncovered = check_batch_coverage(coverage)
     print(format_results(eager, streamed, chunk_size))
     print(f"  score bit-parity      : {'ok' if parity else 'FAIL'}")
     print(f"  CLI streaming parity  : {'ok' if cli_parity else 'FAIL'}")
+    print(f"  batched/scalar parity : {'ok' if batch_parity else 'FAIL'}")
+    print(f"  batched columns       : {len(coverage['batched'])}/"
+          f"{len(coverage['batched']) + len(coverage['scalar'])}"
+          + (f" (core fallback: {', '.join(uncovered)})" if uncovered else ""))
 
     report = {
         "benchmark": "streaming_ingest",
@@ -223,6 +260,9 @@ def main(argv: list[str] | None = None) -> int:
         "streamed_cost_split": cost_split(streamed["span_totals"]),
         "score_parity": parity,
         "cli_parity": cli_parity,
+        "batch_parity": batch_parity,
+        "batched_columns": len(coverage["batched"]),
+        "scalar_columns": coverage["scalar"],
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
@@ -232,6 +272,12 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if not cli_parity:
         print("FAILURE: CLI streaming output diverges from the eager CLI output")
+        return 1
+    if not batch_parity:
+        print("FAILURE: batched vectorisation diverges from the scalar path")
+        return 1
+    if uncovered:
+        print(f"FAILURE: core metrics fell back to the scalar loop: {', '.join(uncovered)}")
         return 1
     if args.smoke:
         if eager["rows"] <= chunk_size:

@@ -21,11 +21,17 @@ can count and filter them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Protocol
+
+import numpy as np
 
 from ..data.schema import Attribute, AttributeType, Schema
 from ..text import difference, similarity
+from ..text.batch.kernels import BATCH_KERNELS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..text.batch.interner import AttributeView
 
 #: A metric takes the two attribute values and an optional context dict
 #: (currently only ``idf``) and returns a float.
@@ -33,6 +39,24 @@ MetricFunction = Callable[[object, object, dict], float]
 
 SIMILARITY = "similarity"
 DIFFERENCE = "difference"
+
+
+class BatchMetricFunction(Protocol):
+    """The batched form of a metric: one call scores a whole column.
+
+    Instead of two raw values it receives the attribute's corpus-index view
+    (interned tokens, char codes, cached representations) plus the left/right
+    entry-id arrays of the batch, and returns the ``(batch,)`` float column —
+    bit-identical to calling the scalar :data:`MetricFunction` per pair.
+    """
+
+    def __call__(
+        self,
+        view: "AttributeView",
+        left_ids: np.ndarray,
+        right_ids: np.ndarray,
+        context: dict,
+    ) -> np.ndarray: ...
 
 
 @dataclass(frozen=True)
@@ -49,12 +73,18 @@ class MetricSpec:
         Either ``"similarity"`` or ``"difference"``.
     function:
         The callable computing the metric value.
+    batch_function:
+        Optional batched implementation (see :class:`BatchMetricFunction`).
+        Registry-built specs carry the matching kernel from
+        :data:`repro.text.batch.BATCH_KERNELS`; specs constructed by hand
+        default to ``None`` and are scored through the scalar fallback.
     """
 
     attribute: str
     metric: str
     kind: str
     function: MetricFunction
+    batch_function: BatchMetricFunction | None = field(default=None, compare=False)
 
     @property
     def name(self) -> str:
@@ -101,9 +131,17 @@ _CORE_STRING_SIMILARITIES: tuple[tuple[str, Callable[[object, object], float]], 
 
 
 def metrics_for_attribute(attribute: Attribute) -> list[MetricSpec]:
-    """Return the basic metrics applicable to ``attribute``."""
+    """Return the basic metrics applicable to ``attribute``.
+
+    Every returned spec whose short name has a kernel in
+    :data:`~repro.text.batch.BATCH_KERNELS` carries it as
+    ``batch_function`` — with full registry coverage today, so the default
+    vectoriser scores every column batched.
+    """
     specs: list[MetricSpec] = []
-    add = specs.append
+
+    def add(spec: MetricSpec) -> None:
+        specs.append(replace(spec, batch_function=BATCH_KERNELS.get(spec.metric)))
 
     if attribute.attr_type is AttributeType.NUMERIC:
         add(MetricSpec(attribute.name, "numeric_similarity", SIMILARITY,

@@ -12,6 +12,18 @@ substrate of the whole system:
 The vectoriser is *fitted* on the two source tables so that corpus-level
 statistics (currently the per-attribute IDF tables used by TF-IDF cosine and
 diff-key-token) come from the data rather than from the pairs being scored.
+
+**Batched dispatch.**  :meth:`PairVectorizer.transform` scores column by
+column: metrics whose spec carries a ``batch_function`` (every registry
+metric) run as one numpy kernel over the whole batch of interned pairs,
+reading cached tokenisations from a :class:`~repro.text.batch.CorpusIndex`
+that normalises and tokenises each distinct value exactly once across the
+vectoriser's lifetime; metrics without one (custom metrics) fall back to the
+scalar per-pair loop.  Both paths are bit-identical — batching is purely a
+throughput decision, toggled with ``batch_enabled``.  The two sub-paths are
+timed under ``vectorize.batch`` / ``vectorize.scalar`` child spans and
+counted per column, so a metrics snapshot shows exactly how much of
+vectorisation ran batched.
 """
 
 from __future__ import annotations
@@ -26,6 +38,7 @@ from ..data.workload import Workload
 from ..exceptions import NotFittedError, PersistenceError
 from ..obs import get_recorder
 from ..serialization import component_state, require_state, state_field
+from ..text.batch.interner import CorpusIndex
 from ..text.tokenize import idf_weights
 from .metric_registry import MetricSpec, metrics_for_schema
 
@@ -39,11 +52,37 @@ class PairVectorizer:
         The shared schema of the two tables.
     metrics:
         Explicit metric specs; by default all metrics applicable to the schema.
+    batch_enabled:
+        Dispatch columns to batched kernels when the spec carries one
+        (default).  ``False`` forces the scalar per-pair path everywhere —
+        same numbers bit for bit, only slower; the toggle exists for parity
+        testing and as an escape hatch.
+    corpus_cache_entries:
+        Soft cap on distinct interned values held by the corpus index; the
+        index resets (between transforms, never mid-batch) once exceeded, so
+        unbounded streams run in bounded memory.
     """
 
-    def __init__(self, schema: Schema, metrics: Sequence[MetricSpec] | None = None) -> None:
+    def __init__(
+        self,
+        schema: Schema,
+        metrics: Sequence[MetricSpec] | None = None,
+        *,
+        batch_enabled: bool = True,
+        corpus_cache_entries: int = 1_000_000,
+    ) -> None:
         self.schema = schema
         self.metrics: list[MetricSpec] = list(metrics) if metrics is not None else metrics_for_schema(schema)
+        self.batch_enabled = batch_enabled
+        self.corpus_cache_entries = corpus_cache_entries
+        #: The lazily created interning cache behind the batched kernels.
+        #: Deliberately *not* part of the persisted/pickled state: workers and
+        #: reloaded vectorisers rebuild their own (it is a pure cache, so
+        #: scores cannot depend on it).
+        self.corpus_index: CorpusIndex | None = None
+        self._separators: dict[str, str] = {
+            attribute.name: attribute.separator for attribute in schema
+        }
         self._idf_by_attribute: dict[str, dict[str, float]] | None = None
 
     @property
@@ -83,47 +122,99 @@ class PairVectorizer:
         idf_tables = self._idf_by_attribute or {}
         return {"idf": idf_tables.get(spec.attribute)}
 
+    def _ensure_corpus_index(self) -> CorpusIndex | None:
+        """The live corpus index, created lazily (``None`` when batching is off)."""
+        if not self.batch_enabled:
+            return None
+        if self.corpus_index is None:
+            self.corpus_index = CorpusIndex(max_entries=self.corpus_cache_entries)
+        return self.corpus_index
+
+    def batch_coverage(self) -> dict[str, list[str]]:
+        """Which metric columns have a batched kernel and which fall back.
+
+        ``{"batched": [...qualified names...], "scalar": [...]}`` — the CI
+        guard asserts the core token-set metrics never silently land in
+        ``scalar``.
+        """
+        return {
+            "batched": [spec.name for spec in self.metrics if spec.batch_function is not None],
+            "scalar": [spec.name for spec in self.metrics if spec.batch_function is None],
+        }
+
     def transform_pair(self, pair: RecordPair) -> np.ndarray:
-        """Return the metric vector of a single pair."""
-        if self._idf_by_attribute is None:
-            raise NotFittedError("PairVectorizer.transform called before fit")
-        vector = np.empty(len(self.metrics), dtype=float)
-        for index, spec in enumerate(self.metrics):
-            left_value, right_value = pair.values(spec.attribute)
-            vector[index] = spec(left_value, right_value, self._context_for(spec))
-        return vector
+        """Return the metric vector of a single pair.
+
+        Routed through :meth:`transform` on a single-pair batch, so the
+        serving cache-miss path shares the batched/cached dispatch and the
+        ``vectorize`` span instead of duplicating the per-metric loop.
+        """
+        return self.transform([pair])[0]
 
     def transform(self, pairs: Iterable[RecordPair]) -> np.ndarray:
         """Return the ``(n_pairs, n_metrics)`` matrix for ``pairs``.
 
-        Batched column-major path: the output matrix is filled one metric
-        column at a time, so per-metric setup (the context dict, and the
-        attribute-value extraction shared by all metrics of one attribute)
-        happens once per column instead of once per pair × metric, and no
-        per-pair row arrays are allocated and re-stacked.
+        The matrix is filled one metric column at a time.  Contexts and
+        attribute-value extraction are hoisted per attribute (shared by all of
+        the attribute's metrics), and each column dispatches to the spec's
+        batched kernel when it has one — reading interned representations
+        from the corpus index — or to the scalar per-pair loop otherwise.
         """
         if self._idf_by_attribute is None:
             raise NotFittedError("PairVectorizer.transform called before fit")
         # The "vectorize" span lives here, at the lowest shared level, so the
         # pipeline stages, the streaming loop and the serving cache-miss path
         # all contribute to one vectorisation total in the metrics snapshot.
-        with get_recorder().span("vectorize"):
+        recorder = get_recorder()
+        with recorder.span("vectorize"):
             pairs = list(pairs)
             matrix = np.empty((len(pairs), len(self.metrics)), dtype=float)
             if not pairs:
                 return matrix
+            index = self._ensure_corpus_index()
+            if index is not None:
+                # Enforce the memory cap strictly *between* transforms: entry
+                # ids handed out below stay valid for the whole batch.
+                index.maybe_reset()
+            contexts: dict[str, dict] = {}
+            interned: dict[str, tuple] = {}
             values_by_attribute: dict[str, list[tuple[object, object]]] = {}
             for column, spec in enumerate(self.metrics):
-                pair_values = values_by_attribute.get(spec.attribute)
+                attribute = spec.attribute
+                context = contexts.get(attribute)
+                if context is None:
+                    context = contexts[attribute] = self._context_for(spec)
+                pair_values = values_by_attribute.get(attribute)
                 if pair_values is None:
-                    pair_values = [pair.values(spec.attribute) for pair in pairs]
-                    values_by_attribute[spec.attribute] = pair_values
-                context = self._context_for(spec)
-                function = spec.function
-                matrix[:, column] = [
-                    function(left_value, right_value, context)
-                    for left_value, right_value in pair_values
-                ]
+                    pair_values = [pair.values(attribute) for pair in pairs]
+                    values_by_attribute[attribute] = pair_values
+                if spec.batch_function is not None and index is not None:
+                    entry = interned.get(attribute)
+                    if entry is None:
+                        view = index.view(attribute, self._separators.get(attribute, ","))
+                        left_ids = view.entry_ids([values[0] for values in pair_values])
+                        right_ids = view.entry_ids([values[1] for values in pair_values])
+                        # Deduplicate the batch to its distinct value pairs
+                        # once per attribute; every metric column shares the
+                        # bundle and its dense pair ids.
+                        dedup = view.pair_dedup(left_ids, right_ids)
+                        entry = interned[attribute] = (view, dedup)
+                    view, dedup = entry
+                    with recorder.span("batch"):
+                        # The view memoises distinct-pair scores, so the
+                        # kernel only sees never-scored pairs.
+                        matrix[:, column] = view.memoized_scores(
+                            spec.metric, spec.batch_function, dedup, context
+                        )
+                    recorder.count("vectorize.batch_columns")
+                else:
+                    function = spec.function
+                    with recorder.span("scalar"):
+                        matrix[:, column] = [
+                            function(left_value, right_value, context)
+                            for left_value, right_value in pair_values
+                        ]
+                    recorder.count("vectorize.scalar_columns")
             return matrix
 
     def fit_transform(self, workload: Workload) -> np.ndarray:

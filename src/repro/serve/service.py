@@ -137,6 +137,10 @@ class ServiceStats:
         """Count pairs scored without consulting the cache (parallel passes)."""
         self.registry.count("service.cache_bypassed", pairs)
 
+    def record_corpus_entries(self, entries: int) -> None:
+        """Track the vectoriser's corpus-index size as a gauge."""
+        self.registry.gauge("service.corpus_index_entries", entries)
+
     @property
     def pairs_scored(self) -> int:
         return int(self.registry.counter_value("service.pairs_scored"))
@@ -161,6 +165,11 @@ class ServiceStats:
     def cache_bypassed(self) -> int:
         """Pairs scored on paths that never consulted the cache."""
         return int(self.registry.counter_value("service.cache_bypassed"))
+
+    @property
+    def corpus_index_entries(self) -> int:
+        """Distinct values currently interned by the vectoriser's corpus index."""
+        return int(self.registry.gauge_value("service.corpus_index_entries"))
 
     @property
     def scoring_seconds(self) -> float:
@@ -199,6 +208,7 @@ class ServiceStats:
             "cache_misses": float(self.cache_misses),
             "cache_bypassed": float(self.cache_bypassed),
             "cache_hit_rate": self.cache_hit_rate,
+            "corpus_index_entries": float(self.corpus_index_entries),
             "scoring_seconds": self.scoring_seconds,
             "pairs_per_second": self.pairs_per_second,
         }
@@ -303,9 +313,18 @@ class RiskService:
         return np.vstack(rows)
 
     def clear_cache(self) -> None:
-        """Drop every cached metric vector."""
+        """Drop every cached metric vector and the vectoriser's corpus index.
+
+        The corpus index is a pure cache (scores never depend on it), so
+        resetting it alongside the LRU rows returns the service to its
+        cold-memory footprint without touching any fitted state.
+        """
         with self._lock:
             self._cache.clear()
+            index = getattr(self.pipeline.vectorizer, "corpus_index", None)
+            if index is not None:
+                index.reset()
+            self.stats.record_corpus_entries(0)
 
     @property
     def cache_fill(self) -> int:
@@ -324,6 +343,9 @@ class RiskService:
         risk_scores = self.pipeline.risk_model.score(matrix, probabilities, machine_labels)
         elapsed = time.perf_counter() - start
         self.stats.record_batch(len(pairs), elapsed)
+        index = getattr(self.pipeline.vectorizer, "corpus_index", None)
+        if index is not None:
+            self.stats.record_corpus_entries(index.entry_count)
         return [
             ScoredPair(
                 pair=pair,

@@ -222,8 +222,17 @@ def monge_elkan_similarity(
         return 1.0
     if not left_tokens or not right_tokens:
         return 0.0
+    # An identical token is a guaranteed maximum for the default inner:
+    # jaro_winkler_similarity(t, t) is exactly 1.0 and every value is <= 1.0,
+    # so the scan can be skipped without changing the score by a single bit.
+    # Custom inner functions make no such promise and keep the full scan.
+    exact_is_max = inner is jaro_winkler_similarity
+    right_token_set = set(right_tokens) if exact_is_max else ()
     total = 0.0
     for left_token in left_tokens:
+        if exact_is_max and left_token in right_token_set:
+            total += 1.0
+            continue
         total += max(inner(left_token, right_token) for right_token in right_tokens)
     return total / len(left_tokens)
 

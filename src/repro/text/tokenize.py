@@ -1,13 +1,36 @@
-"""Tokenisation and normalisation helpers shared by all string metrics."""
+"""Tokenisation and normalisation helpers shared by all string metrics.
+
+Normalisation, tokenisation and n-gram extraction are memoised process-wide
+(bounded LRU caches): every metric call and every corpus-index build re-derives
+representations from the same handful of distinct values, so the caches turn
+the scalar fallback path's repeated regex work into dictionary lookups.  The
+cached layers return immutable tuples; the public helpers copy them into fresh
+lists, preserving the original "caller may mutate the result" contract.
+"""
 
 from __future__ import annotations
 
 import re
 from collections import Counter
+from functools import lru_cache
 from typing import Iterable
 
 _TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
 _WHITESPACE = re.compile(r"\s+")
+
+#: Bound on each memo (distinct strings, not bytes); big enough that realistic
+#: corpora fit entirely, small enough that adversarial streams stay bounded.
+_CACHE_SIZE = 1 << 16
+
+
+@lru_cache(maxsize=_CACHE_SIZE)
+def _normalize_str(value: str) -> str:
+    return _WHITESPACE.sub(" ", value.strip().lower())
+
+
+@lru_cache(maxsize=_CACHE_SIZE)
+def _token_tuple(normalized: str) -> tuple[str, ...]:
+    return tuple(_TOKEN_PATTERN.findall(normalized))
 
 
 def normalize(value: str | None) -> str:
@@ -20,12 +43,12 @@ def normalize(value: str | None) -> str:
         return ""
     if not isinstance(value, str):
         value = str(value)
-    return _WHITESPACE.sub(" ", value.strip().lower())
+    return _normalize_str(value)
 
 
 def tokenize(value: str | None) -> list[str]:
     """Split ``value`` into lower-case alphanumeric tokens."""
-    return _TOKEN_PATTERN.findall(normalize(value))
+    return list(_token_tuple(normalize(value)))
 
 
 def token_set(value: str | None) -> set[str]:
@@ -38,18 +61,23 @@ def token_counts(value: str | None) -> Counter:
     return Counter(tokenize(value))
 
 
+@lru_cache(maxsize=_CACHE_SIZE)
+def _ngram_tuple(normalized: str, n: int) -> tuple[str, ...]:
+    text = normalized.replace(" ", "_")
+    if not text:
+        return ()
+    if len(text) < n:
+        return (text.ljust(n, "#"),)
+    return tuple(text[i:i + n] for i in range(len(text) - n + 1))
+
+
 def character_ngrams(value: str | None, n: int = 3) -> list[str]:
     """Return the character ``n``-grams of the normalised value.
 
     Values shorter than ``n`` produce a single n-gram padded with ``#`` so that
     short strings still compare meaningfully.
     """
-    text = normalize(value).replace(" ", "_")
-    if not text:
-        return []
-    if len(text) < n:
-        return [text.ljust(n, "#")]
-    return [text[i:i + n] for i in range(len(text) - n + 1)]
+    return list(_ngram_tuple(normalize(value), n))
 
 
 def split_entity_set(value: str | None, separator: str = ",") -> list[str]:

@@ -1,0 +1,171 @@
+"""Batched metric kernels vs scalar metrics: bit-exact parity.
+
+Every registry metric with a batch kernel is compared column-for-column
+against its scalar function — the comparison is ``np.array_equal`` on the
+float bits, never an approximate one — over a pool of adversarial values
+(``None``, empties, whitespace-only, unicode, separators, numeric-looking
+strings, strings long enough to leave the int8 DP cells) and over
+hypothesis-drawn pairs.  The char kernels additionally run with a tiny cell
+budget to force their fallback branches, which must select identical
+matches, and the Monge-Elkan exact-token short-circuit is pinned against a
+full-scan reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.text.batch.chars as chars
+from repro.data.schema import Attribute, AttributeType
+from repro.features.metric_registry import metrics_for_attribute
+from repro.text.batch.chars import batched_char_trio
+from repro.text.batch.interner import CorpusIndex
+from repro.text.similarity import (
+    jaro_winkler_similarity,
+    lcs_length,
+    levenshtein_distance,
+    monge_elkan_similarity,
+)
+from repro.text.tokenize import idf_weights, normalize, tokenize
+
+#: Values chosen to hit every edge branch: missing, empty-after-normalise,
+#: single chars, unicode, entity separators, numeric-looking text, repeated
+#: tokens, and strings past the 126-char int8 DP-cell boundary.
+ADVERSARIAL = [
+    None, "", " ", "  ,  ", "a", "A", "aa", "ab", "ba", "b" * 130, "ab" * 100,
+    "léo ève ünïcode", "the the the", "one two three four five",
+    "Smith, J, Doe, A", "J Smith", "smith j", "1998", "12.5", "nan", "inf",
+    "-3", "0", "a,b,c", ",,,", "x" * 126, "y" * 127, "prefix match", "prefix",
+    "AB", "A.B.", "VLDB", "Very Large Data Bases", "mixed 123 tokens",
+    "deduplication of bibliographic records", "bibliographic record dedup",
+]
+
+ATTRIBUTES = [
+    Attribute("text", AttributeType.TEXT),
+    Attribute("entity_name", AttributeType.ENTITY_NAME),
+    Attribute("entity_set", AttributeType.ENTITY_SET),
+    Attribute("numeric", AttributeType.NUMERIC),
+    Attribute("categorical", AttributeType.CATEGORICAL),
+]
+
+CONTEXT = {"idf": idf_weights(list(ADVERSARIAL))}
+
+
+def batched_columns(attribute, lefts, rights, context):
+    """Score every registry metric of ``attribute`` through its batch kernel."""
+    view = CorpusIndex().view(attribute.name, attribute.separator)
+    left_ids = view.entry_ids(list(lefts))
+    right_ids = view.entry_ids(list(rights))
+    dedup = view.pair_dedup(left_ids, right_ids)
+    columns = {}
+    for spec in metrics_for_attribute(attribute):
+        assert spec.batch_function is not None, f"{spec.name} lost its kernel"
+        columns[spec.metric] = view.memoized_scores(
+            spec.metric, spec.batch_function, dedup, context
+        )
+    return columns
+
+
+def assert_parity(attribute, lefts, rights, context):
+    columns = batched_columns(attribute, lefts, rights, context)
+    for spec in metrics_for_attribute(attribute):
+        scalar = np.array(
+            [spec.function(left, right, context) for left, right in zip(lefts, rights)]
+        )
+        assert np.array_equal(columns[spec.metric], scalar), spec.name
+
+
+@pytest.mark.parametrize("attribute", ATTRIBUTES, ids=lambda a: a.name)
+def test_adversarial_cross_product_parity(attribute):
+    """Full cross product of the adversarial pool, every metric, bit for bit."""
+    lefts, rights = zip(*[(a, b) for a in ADVERSARIAL for b in ADVERSARIAL])
+    assert_parity(attribute, lefts, rights, CONTEXT)
+
+
+text_values = st.one_of(
+    st.none(),
+    st.text(
+        alphabet=st.characters(
+            whitelist_categories=("Ll", "Lu", "Nd"),
+            whitelist_characters=" ,.-",
+        ),
+        max_size=48,
+    ),
+)
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(pairs=st.lists(st.tuples(text_values, text_values), min_size=1, max_size=32))
+@pytest.mark.parametrize("attribute", ATTRIBUTES, ids=lambda a: a.name)
+def test_property_parity(attribute, pairs):
+    """Hypothesis-drawn batches stay bit-identical for every registry metric."""
+    lefts, rights = zip(*pairs)
+    assert_parity(attribute, lefts, rights, CONTEXT)
+
+
+def codes_of(string):
+    return np.frombuffer(string.encode("utf-32-le"), dtype=np.int32).copy()
+
+
+def test_char_trio_budget_fallback_parity(monkeypatch):
+    """A tiny cell budget forces the fallback branches; matches are identical."""
+    values = [normalize(value) if value else "" for value in ADVERSARIAL]
+    pairs = [(a, b) for a in values for b in values if a and b]
+    lefts = [codes_of(a) for a, _ in pairs]
+    rights = [codes_of(b) for _, b in pairs]
+    expected = batched_char_trio(lefts, rights)
+    monkeypatch.setattr(chars, "CELL_BUDGET", 1)
+    constrained = batched_char_trio(lefts, rights)
+    for full, tiny in zip(expected, constrained):
+        assert np.array_equal(full, tiny)
+    for (a, b), lev, lcs, jw in zip(pairs, *constrained):
+        assert lev == levenshtein_distance(a, b)
+        assert lcs == lcs_length(a, b)
+        assert jw == jaro_winkler_similarity(a, b)
+
+
+# --------------------------------------------------- Monge-Elkan short-circuit
+def full_scan_monge(left, right):
+    """The pre-short-circuit Monge-Elkan: always scans every right token."""
+    left_norm, right_norm = normalize(left), normalize(right)
+    if not left_norm and not right_norm:
+        return 1.0
+    if not left_norm or not right_norm:
+        return 0.0
+    left_tokens, right_tokens = tokenize(left), tokenize(right)
+    if not left_tokens and not right_tokens:
+        return 1.0
+    if not left_tokens or not right_tokens:
+        return 0.0
+    total = 0.0
+    for left_token in left_tokens:
+        total += max(
+            jaro_winkler_similarity(left_token, right_token)
+            for right_token in right_tokens
+        )
+    return total / len(left_tokens)
+
+
+@settings(max_examples=120, deadline=None, derandomize=True)
+@given(left=text_values, right=text_values)
+def test_monge_elkan_short_circuit_regression(left, right):
+    """The exact-token short-circuit changes no score by a single bit."""
+    assert monge_elkan_similarity(left, right) == full_scan_monge(left, right)
+
+
+def test_monge_elkan_custom_inner_keeps_full_scan():
+    """Custom inners make no max-at-1.0 promise, so identical tokens still scan."""
+    calls = []
+
+    def inner(left_token, right_token):
+        calls.append((left_token, right_token))
+        return 0.25
+
+    score = monge_elkan_similarity("alpha beta", "alpha beta", inner=inner)
+    # Every (left, right) token combination was evaluated — no short-circuit —
+    # and the score reflects the inner function, not an assumed 1.0.
+    assert len(calls) == 4
+    assert score == 0.25
