@@ -1,0 +1,85 @@
+"""Streaming blocking: index-backed candidate generation in bounded memory.
+
+The package splits blocking into four small layers:
+
+* :mod:`repro.blocking.index` — the per-wave data structures
+  (:class:`InvertedIndex`, :class:`MinHashIndex`) that hold one side of a
+  corpus in probe-friendly O(records) form.
+* :mod:`repro.blocking.corpus` — :class:`CorpusStream` record inputs (tables,
+  CSV exports, generator waves, built-in datasets) yielding
+  :class:`CorpusWave` units.
+* :mod:`repro.blocking.blockers` — :class:`Blocker` producers
+  (:class:`InvertedIndexBlocker`, :class:`MinHashLSHBlocker`,
+  :class:`SortedWindowBlocker`) that turn waves into deterministic,
+  duplicate-free candidate streams.
+* :mod:`repro.blocking.source` — :class:`BlockingPairSource`, the
+  :class:`~repro.data.sources.PairSource` adapter that lets spec-driven
+  pipelines and the serve CLI fit/score straight from raw tables.
+
+The classic eager blockers in :mod:`repro.data.blocking` are thin wrappers
+over this package (bit-identical, parity-tested).
+"""
+
+from .blockers import (
+    BLOCKERS,
+    Blocker,
+    DEFAULT_CHUNK_SIZE,
+    IndexBlocker,
+    InvertedIndexBlocker,
+    MinHashLSHBlocker,
+    SortedWindowBlocker,
+    create_blocker,
+    frequency_stop_tokens,
+    register_blocker,
+    registered_blockers,
+)
+from .corpus import (
+    CORPORA,
+    CorpusStream,
+    CorpusWave,
+    CsvCorpus,
+    DatasetCorpus,
+    GeneratedCorpus,
+    TableCorpus,
+    create_corpus,
+    register_corpus,
+    registered_corpora,
+)
+from .index import (
+    BlockingIndex,
+    InvertedIndex,
+    MinHashIndex,
+    record_token_set,
+    token_base_hashes,
+)
+from .source import BlockingPairSource
+
+__all__ = [
+    "BLOCKERS",
+    "Blocker",
+    "BlockingIndex",
+    "BlockingPairSource",
+    "CORPORA",
+    "CorpusStream",
+    "CorpusWave",
+    "CsvCorpus",
+    "DEFAULT_CHUNK_SIZE",
+    "DatasetCorpus",
+    "GeneratedCorpus",
+    "IndexBlocker",
+    "InvertedIndex",
+    "InvertedIndexBlocker",
+    "MinHashIndex",
+    "MinHashLSHBlocker",
+    "SortedWindowBlocker",
+    "TableCorpus",
+    "create_blocker",
+    "create_corpus",
+    "frequency_stop_tokens",
+    "record_token_set",
+    "register_blocker",
+    "register_corpus",
+    "registered_blockers",
+    "registered_corpora",
+    "token_base_hashes",
+]

@@ -1,0 +1,348 @@
+"""Streaming record corpora: the input side of the blocking layer.
+
+Blocking consumes *records*, not candidate pairs, so it needs its own input
+abstraction: a :class:`CorpusStream` yields :class:`CorpusWave` objects — one
+left table, one right table and the ground-truth matches linking them.  A
+bounded corpus (two tables, a CSV export) is a single wave; a generated corpus
+can stream any number of waves (the :class:`~repro.data.sources.GeneratorSource`
+regime), and each wave is blocked independently against a fresh index, so peak
+memory is one wave plus one chunk — never the corpus, and never the pair set.
+
+Backends
+--------
+:class:`TableCorpus`
+    One wave over two in-memory tables (with optional matches).
+:class:`CsvCorpus`
+    One wave read from the :mod:`repro.data.io` CSV layout
+    (``<name>_left.csv`` / ``<name>_right.csv`` / ``<name>_matches.csv``).
+:class:`GeneratedCorpus`
+    Waves of synthetic tables from :func:`repro.data.generators.generate_corpus`
+    — raw tables only, the generator's own candidate sampling is skipped
+    entirely, which is what lets a 10^5-record corpus be produced without
+    materialising any pair list.
+
+Corpora are registered in :data:`CORPORA` (``"tables"`` is construction-only),
+so the ``"blocked"`` pair source and the serve CLI can name their record
+backend from JSON configuration.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from ..data.io import read_pairs, read_table
+from ..data.records import Table
+from ..data.schema import Schema
+from ..exceptions import ConfigurationError, DataError
+from ..registry import ComponentRegistry
+from ..serialization import dataclass_from_dict
+
+
+@dataclass(frozen=True)
+class CorpusWave:
+    """One unit of streamed corpus: two record tables plus their match links."""
+
+    left: Table
+    right: Table
+    matches: frozenset[tuple[str, str]] = field(default_factory=frozenset)
+
+    @property
+    def n_records(self) -> int:
+        """Total records in the wave (both sides)."""
+        return len(self.left) + len(self.right)
+
+
+class CorpusStream(abc.ABC):
+    """A (possibly unbounded) stream of :class:`CorpusWave` objects.
+
+    Each :meth:`waves` call starts a fresh pass, mirroring the re-iterability
+    contract of :class:`~repro.data.sources.PairSource`.
+    """
+
+    #: Human-readable corpus name (becomes the blocked source/workload name).
+    name: str = "corpus"
+
+    @abc.abstractmethod
+    def waves(self) -> Iterator[CorpusWave]:
+        """Yield the corpus waves; a fresh pass per call."""
+
+    @property
+    def n_waves(self) -> int | None:
+        """Number of waves when known without a pass, ``None`` when unbounded."""
+        return None
+
+    @property
+    def schema(self) -> Schema | None:
+        """The shared table schema, when the backend knows it up front."""
+        return None
+
+    @property
+    def labeled(self) -> bool:
+        """Whether waves carry ground-truth matches (so pairs can be labeled)."""
+        return True
+
+
+class TableCorpus(CorpusStream):
+    """A single-wave corpus over two in-memory tables.
+
+    ``matches=None`` marks the corpus unlabeled: blocked pairs get
+    ``ground_truth=None`` instead of being assumed non-matches.
+    """
+
+    def __init__(
+        self,
+        left: Table,
+        right: Table,
+        matches: "Iterator[tuple[str, str]] | list[tuple[str, str]] | None" = (),
+        name: str | None = None,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.matches = None if matches is None else frozenset(matches)
+        self.name = name or f"{left.name}|{right.name}"
+
+    def waves(self) -> Iterator[CorpusWave]:
+        yield CorpusWave(self.left, self.right, self.matches or frozenset())
+
+    @property
+    def n_waves(self) -> int:
+        return 1
+
+    @property
+    def schema(self) -> Schema:
+        return self.left.schema
+
+    @property
+    def labeled(self) -> bool:
+        return self.matches is not None
+
+
+class CsvCorpus(CorpusStream):
+    """A single-wave corpus read from the :mod:`repro.data.io` CSV layout.
+
+    The tables and the match file are read lazily on the first :meth:`waves`
+    pass and cached: they are the O(records) artefacts, and keeping them makes
+    repeated passes (fit then score) free.  A missing match file marks the
+    corpus unlabeled rather than failing, so raw un-curated table dumps can be
+    blocked too.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        name: str,
+        schema: Schema | Mapping[str, Any] | str | Path,
+    ) -> None:
+        from ..data.sources import _coerce_schema
+
+        self.directory = Path(directory)
+        self.name = name
+        self._schema = _coerce_schema(schema)
+        self._wave: CorpusWave | None = None
+        self._labeled = (self.directory / f"{name}_matches.csv").exists()
+
+    def _load(self) -> CorpusWave:
+        if self._wave is None:
+            left = read_table(
+                self.directory / f"{self.name}_left.csv", self._schema, name=f"{self.name}-left"
+            )
+            right = read_table(
+                self.directory / f"{self.name}_right.csv", self._schema, name=f"{self.name}-right"
+            )
+            matches: frozenset[tuple[str, str]] = frozenset()
+            if self._labeled:
+                matches = frozenset(read_pairs(self.directory / f"{self.name}_matches.csv"))
+            self._wave = CorpusWave(left, right, matches)
+        return self._wave
+
+    def waves(self) -> Iterator[CorpusWave]:
+        yield self._load()
+
+    @property
+    def n_waves(self) -> int:
+        return 1
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def labeled(self) -> bool:
+        return self._labeled
+
+
+class GeneratedCorpus(CorpusStream):
+    """Waves of synthetic raw tables from a :mod:`repro.data.generators` domain.
+
+    Wave ``i`` generates with ``seed + i`` (the exact wave-seeding scheme of
+    :class:`~repro.data.sources.GeneratorSource`), but through
+    :func:`~repro.data.generators.generate_corpus`, so no candidate-pair list
+    is ever sampled or materialised — only tables and matches.
+
+    Parameters
+    ----------
+    domain:
+        Domain name or :class:`~repro.data.generators.DomainGenerator`.
+    config:
+        Per-wave :class:`~repro.data.generators.GenerationConfig`.
+    n_waves:
+        Number of waves; ``None`` streams without bound (blocking each wave
+        independently keeps that regime in bounded memory).
+    seed:
+        Base seed; overrides ``config.seed`` per wave.
+    """
+
+    def __init__(
+        self,
+        domain: Any,
+        config: Any = None,
+        n_waves: int | None = 1,
+        name: str = "synthetic",
+        seed: int = 0,
+    ) -> None:
+        from ..data.generators import DomainGenerator, GenerationConfig, make_generator
+
+        if isinstance(domain, DomainGenerator):
+            self.generator = domain
+        else:
+            self.generator = make_generator(domain)
+        self.config = config or GenerationConfig()
+        if n_waves is not None and n_waves < 1:
+            raise ConfigurationError(f"n_waves must be >= 1 or None, got {n_waves}")
+        self.n_waves_bound = n_waves
+        self.name = name
+        self.seed = seed
+
+    def waves(self) -> Iterator[CorpusWave]:
+        import itertools
+        from dataclasses import replace
+
+        from ..data.generators import generate_corpus
+
+        indices = itertools.count() if self.n_waves_bound is None else range(self.n_waves_bound)
+        for wave in indices:
+            config = replace(self.config, seed=self.seed + wave)
+            left, right, matches = generate_corpus(
+                self.generator, config, name=f"{self.name}#{wave}"
+            )
+            yield CorpusWave(left, right, frozenset(matches))
+
+    @property
+    def n_waves(self) -> int | None:
+        return self.n_waves_bound
+
+    @property
+    def schema(self) -> Schema:
+        return self.generator.schema
+
+
+class DatasetCorpus(CorpusStream):
+    """The raw tables + matches of a built-in benchmark-analogue workload.
+
+    The workload's pre-blocked candidate list is discarded — only the tables
+    and the ground-truth matches survive — so re-blocking a built-in dataset
+    exercises exactly the raw-tables path.
+    """
+
+    def __init__(self, name: str = "DS", scale: float = 1.0, seed: int | None = None) -> None:
+        from ..data.datasets import load_dataset
+
+        workload = load_dataset(name, scale=scale, seed=seed)
+        if workload.left_table is None or workload.right_table is None:
+            raise DataError(f"dataset {name!r} carries no source tables")
+        matches = frozenset(
+            pair.pair_id for pair in workload.pairs if pair.ground_truth == 1
+        )
+        self.name = workload.name
+        self._wave = CorpusWave(workload.left_table, workload.right_table, matches)
+
+    def waves(self) -> Iterator[CorpusWave]:
+        yield self._wave
+
+    @property
+    def n_waves(self) -> int:
+        return 1
+
+    @property
+    def schema(self) -> Schema:
+        return self._wave.left.schema
+
+
+# ------------------------------------------------------------------ registry
+#: Registry of corpus factories (``factory(**params) -> CorpusStream``).
+CORPORA = ComponentRegistry("corpus")
+
+
+def register_corpus(key: str, factory=None, *, overwrite: bool = False):
+    """Register a corpus factory under ``key`` (usable as a decorator)."""
+    return CORPORA.register(key, factory, overwrite=overwrite)
+
+
+def registered_corpora() -> list[str]:
+    """Registered corpus keys, sorted."""
+    return CORPORA.keys()
+
+
+def create_corpus(spec: Mapping[str, Any] | CorpusStream, seed: int = 0) -> CorpusStream:
+    """Build a corpus from ``{"kind": ..., **params}`` configuration.
+
+    An already-built :class:`CorpusStream` passes through, so programmatic
+    callers can mix concrete corpora with JSON-configured ones.  ``seed`` is
+    injected when the params do not pin one.
+    """
+    if isinstance(spec, CorpusStream):
+        return spec
+    if not isinstance(spec, Mapping):
+        raise ConfigurationError(
+            f"corpus spec must be a mapping or CorpusStream, got {type(spec).__name__}"
+        )
+    params = dict(spec)
+    kind = params.pop("kind", None)
+    if not kind:
+        raise ConfigurationError("corpus spec is missing 'kind'")
+    from ..compose.registries import _accepts_parameter
+
+    factory = CORPORA.get(kind)
+    if "seed" not in params and _accepts_parameter(factory, "seed"):
+        params["seed"] = seed
+    corpus = CORPORA.create(kind, **params)
+    if not isinstance(corpus, CorpusStream):
+        raise ConfigurationError(
+            f"corpus factory {kind!r} returned {type(corpus).__name__}, "
+            f"expected a CorpusStream"
+        )
+    return corpus
+
+
+@register_corpus("csv")
+def build_csv_corpus(directory: str, name: str = "workload", schema=None) -> CsvCorpus:
+    """Raw tables from an exported CSV workload directory."""
+    if schema is None:
+        raise ConfigurationError("csv corpus requires a 'schema' (mapping or JSON file path)")
+    return CsvCorpus(directory, name, schema)
+
+
+@register_corpus("generator")
+def build_generated_corpus(
+    domain: str = "bibliographic",
+    config: Mapping[str, Any] | None = None,
+    n_waves: int | None = 1,
+    name: str = "synthetic",
+    seed: int = 0,
+) -> GeneratedCorpus:
+    """Synthetic raw-table waves (``config`` holds GenerationConfig overrides)."""
+    from ..data.generators import GenerationConfig
+
+    generation_config = None
+    if config is not None:
+        generation_config = dataclass_from_dict(GenerationConfig, config)
+    return GeneratedCorpus(domain, config=generation_config, n_waves=n_waves, name=name, seed=seed)
+
+
+@register_corpus("dataset")
+def build_dataset_corpus(name: str = "DS", scale: float = 1.0, seed: int | None = None) -> DatasetCorpus:
+    """Raw tables of a built-in benchmark-analogue workload."""
+    return DatasetCorpus(name=name, scale=scale, seed=seed)

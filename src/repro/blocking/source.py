@@ -1,0 +1,167 @@
+"""`BlockingPairSource`: candidate generation as a streaming pair source.
+
+This is where the blocking layer meets the rest of the stack: a
+:class:`BlockingPairSource` wraps a :class:`~repro.blocking.corpus.CorpusStream`
+and one or more :class:`~repro.blocking.blockers.Blocker` instances and behaves
+like any other :class:`~repro.data.sources.PairSource` — so spec-driven
+pipelines, ``Workload.from_source``, the parallel engine and the serve CLI can
+all fit and score straight from raw tables, with the candidate set existing
+only as the streamed chunks.
+
+Per wave the source prepares each blocker's index, walks the left table once,
+unions the blockers' sorted per-record candidates, labels each emitted pair
+against the wave's ground-truth matches, and (with ``ensure_matches``) appends
+any matches the blockers missed at the end of the wave — so training-oriented
+streams keep blocking recall 1.0 while the emitted stream still reflects the
+blockers' candidate counts.  Peak memory is one wave's tables + indexes + one
+chunk; nothing scales with the number of candidate pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..data.records import MATCH, RecordPair, Table, UNMATCH
+from ..data.sources import DEFAULT_CHUNK_SIZE, PairSource, chunked
+from ..exceptions import ConfigurationError
+from ..obs import get_recorder
+from .blockers import Blocker, IndexBlocker
+from .corpus import CorpusStream, CorpusWave
+
+
+class BlockingPairSource(PairSource):
+    """Stream blocked candidate pairs from a record corpus.
+
+    Parameters
+    ----------
+    corpus:
+        The record stream to block (tables, CSV exports, generator waves).
+    blockers:
+        One or more blockers.  Several blockers are unioned *per left record*
+        (duplicate-free without a global seen-set), which requires every
+        blocker to be an :class:`IndexBlocker` when more than one is given —
+        window-style blockers don't decompose per record, so they can only be
+        used alone.
+    ensure_matches:
+        When the corpus is labeled, append any ground-truth matches the
+        blockers missed at the end of each wave, so fitting on the blocked
+        stream never loses positives.  Ignored for unlabeled corpora.
+    name:
+        Source name (defaults to ``blocked:<corpus name>``).
+    """
+
+    def __init__(
+        self,
+        corpus: CorpusStream,
+        blockers: Sequence[Blocker],
+        ensure_matches: bool = True,
+        name: str | None = None,
+    ) -> None:
+        blockers = list(blockers)
+        if not blockers:
+            raise ConfigurationError("BlockingPairSource requires at least one blocker")
+        for blocker in blockers:
+            if not isinstance(blocker, Blocker):
+                raise ConfigurationError(
+                    f"blockers must be Blocker instances, got {type(blocker).__name__}"
+                )
+        if len(blockers) > 1 and not all(isinstance(b, IndexBlocker) for b in blockers):
+            raise ConfigurationError(
+                "combining multiple blockers requires them all to be index-backed; "
+                "non-index blockers (e.g. sorted_window) can only be used alone"
+            )
+        self.corpus = corpus
+        self.blockers = blockers
+        self.ensure_matches = ensure_matches
+        self.name = name or f"blocked:{corpus.name}"
+        self._cached_wave: CorpusWave | None = None
+
+    # ------------------------------------------------------------- streaming
+    def _iter_wave_pairs(self, wave: CorpusWave) -> Iterator[RecordPair]:
+        """Stream one wave's labeled candidate pairs, deterministically.
+
+        Emission order: left-table order, then each left record's sorted
+        candidate union, then (with ``ensure_matches``) the missed matches in
+        sorted order.  Duplicate-free by construction.
+        """
+        labeled = self.corpus.labeled
+        matches = wave.matches if labeled else frozenset()
+        missed = set(matches) if (labeled and self.ensure_matches) else set()
+        left_table, right_table = wave.left, wave.right
+
+        def emit(left_id: str, right_id: str) -> RecordPair:
+            pair_id = (left_id, right_id)
+            missed.discard(pair_id)
+            truth = (MATCH if pair_id in matches else UNMATCH) if labeled else None
+            return RecordPair(left_table[left_id], right_table[right_id], ground_truth=truth)
+
+        if len(self.blockers) == 1 and not isinstance(self.blockers[0], IndexBlocker):
+            for left_id, right_id in self.blockers[0].iter_wave_candidates(wave):
+                yield emit(left_id, right_id)
+        else:
+            probers = [blocker.prepare(wave) for blocker in self.blockers]
+            for record in left_table:
+                if len(probers) == 1:
+                    candidate_ids = probers[0](record)
+                else:
+                    union: set[str] = set()
+                    for prober in probers:
+                        union.update(prober(record))
+                    candidate_ids = sorted(union)
+                left_id = record.record_id
+                for right_id in candidate_ids:
+                    yield emit(left_id, right_id)
+
+        if missed:
+            recorder = get_recorder()
+            recorder.count("blocking.matches_recovered", len(missed))
+            for left_id, right_id in sorted(missed):
+                yield RecordPair(
+                    left_table[left_id], right_table[right_id], ground_truth=MATCH
+                )
+
+    def _iter_pairs(self) -> Iterator[RecordPair]:
+        recorder = get_recorder()
+        for wave in self.corpus.waves():
+            recorder.count("blocking.waves")
+            count = 0
+            for pair in self._iter_wave_pairs(wave):
+                count += 1
+                yield pair
+            recorder.count("blocking.candidates_emitted", count)
+
+    def iter_chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[list[RecordPair]]:
+        # chunked() holds at most one chunk; the flat stream holds at most one
+        # wave's tables + indexes — the bounded-memory contract of the layer.
+        yield from chunked(self._iter_pairs(), chunk_size)
+
+    # ------------------------------------------------------------- metadata
+    @property
+    def labeled(self) -> bool:
+        return self.corpus.labeled
+
+    def _single_wave(self) -> CorpusWave | None:
+        """The corpus's only wave, when it has exactly one (cached)."""
+        if self.corpus.n_waves != 1:
+            return None
+        if self._cached_wave is None:
+            self._cached_wave = next(iter(self.corpus.waves()))
+        return self._cached_wave
+
+    @property
+    def left_table(self) -> Table | None:
+        wave = self._single_wave()
+        return None if wave is None else wave.left
+
+    @property
+    def right_table(self) -> Table | None:
+        wave = self._single_wave()
+        return None if wave is None else wave.right
+
+    def materialize(self, name: str | None = None):
+        if self.corpus.n_waves is None:
+            raise ConfigurationError(
+                "cannot materialize a BlockingPairSource over an unbounded corpus; "
+                "bound the corpus (n_waves) or consume iter_chunks instead"
+            )
+        return super().materialize(name)

@@ -31,8 +31,10 @@ risk metric
 pair source
     ``factory(**params) -> PairSource`` (see :mod:`repro.data.sources`), so a
     :class:`PipelineSpec` can name its data backend (``"csv"``, ``"dataset"``,
-    ``"generator"``, ``"sharded"``) and the whole stack can stream pairs
-    out-of-core from configuration alone.
+    ``"generator"``, ``"sharded"``, ``"blocked"``) and the whole stack can
+    stream pairs out-of-core from configuration alone.  The ``"blocked"``
+    backend (see :mod:`repro.blocking`) generates its candidates on the fly
+    from a raw record corpus instead of reading a pre-blocked pair list.
 """
 
 from __future__ import annotations
@@ -287,6 +289,37 @@ def build_sharded_source(
         child_spec = ComponentSpec.coerce(entry, "pair source")
         children.append(create_source(child_spec.kind, child_spec.params, seed))
     return ShardedSource(children, interleave=interleave, name=name)
+
+
+@register_source("blocked")
+def build_blocked_source(
+    corpus: Mapping[str, Any] | None = None,
+    blockers: list[Mapping[str, Any]] | None = None,
+    ensure_matches: bool = True,
+    name: str | None = None,
+    seed: int = 0,
+) -> PairSource:
+    """Candidate pairs blocked on the fly from a raw record corpus.
+
+    ``corpus`` is a ``{"kind": ..., **params}`` spec resolved through
+    :data:`repro.blocking.CORPORA` (``"csv"``, ``"generator"``, ``"dataset"``)
+    and ``blockers`` a non-empty list of ``{"kind": ..., "params": {...}}``
+    specs resolved through :data:`repro.blocking.BLOCKERS` (``"inverted"``,
+    ``"minhash"``, ``"sorted_window"``).  The result streams in bounded
+    memory: no candidate-pair list is ever materialised.
+    """
+    from ..blocking import BlockingPairSource, create_blocker, create_corpus
+
+    if not corpus:
+        raise ConfigurationError("blocked source requires a 'corpus' spec")
+    if not blockers:
+        raise ConfigurationError("blocked source requires a non-empty 'blockers' list")
+    return BlockingPairSource(
+        create_corpus(corpus, seed=seed),
+        [create_blocker(entry, seed=seed) for entry in blockers],
+        ensure_matches=ensure_matches,
+        name=name,
+    )
 
 
 @register_risk_feature_generator("onesided_tree")

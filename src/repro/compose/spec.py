@@ -155,10 +155,13 @@ class PipelineSpec:
         :mod:`repro.compose.registries`.
     source:
         Optional data-backend spec resolved through the pair-source registry
-        (``"csv"``, ``"dataset"``, ``"generator"``, ``"sharded"``, or anything
-        added via ``register_source``).  When set, the pipeline knows where
-        its pairs stream from and ``StagedPipeline.build_source()`` (or
-        :func:`build_source`) materialises the backend.
+        (``"csv"``, ``"dataset"``, ``"generator"``, ``"sharded"``, ``"blocked"``,
+        or anything added via ``register_source``).  When set, the pipeline
+        knows where its pairs stream from and ``StagedPipeline.build_source()``
+        (or :func:`build_source`) materialises the backend.  The ``"blocked"``
+        backend generates candidates on the fly from a raw record corpus
+        through :mod:`repro.blocking`, so a spec can fit and score without any
+        pre-blocked pair list existing anywhere.
     execution:
         Optional :class:`~repro.parallel.config.ExecutionConfig` (or its
         ``to_dict`` mapping) with the default multi-worker scoring setup —

@@ -1,4 +1,4 @@
-"""Blocking: candidate-pair generation.
+"""Blocking: candidate-pair generation (classic eager API).
 
 Comparing every record of one table against every record of the other is
 quadratic and infeasible for real ER workloads, so all the benchmark datasets
@@ -7,12 +7,18 @@ used in the paper are *blocked* first: only pairs that share some cheap signal
 resulting candidate sets are heavily imbalanced — most candidates are still
 non-matches — which is exactly the regime risk analysis operates in.
 
-This module implements two standard blockers from scratch:
+Since the streaming refactor the real blocking machinery lives in
+:mod:`repro.blocking` (index-backed, bounded-memory, `PairSource`-producing);
+this module keeps the historical eager API as thin wrappers over it:
 
-* :class:`TokenBlocker` — pairs records that share at least ``min_shared``
-  tokens on the chosen attributes, with very frequent tokens ignored.
-* :class:`SortedNeighbourhoodBlocker` — sorts both tables by a key expression
-  and pairs records within a sliding window.
+* :class:`TokenBlocker` — an :class:`~repro.blocking.blockers.InvertedIndexBlocker`
+  with the classic per-table frequency stop-word rule.  Each record is now
+  tokenised once per ``block`` call (the old code tokenised everything twice —
+  once for stop words, once for indexing) with bit-identical output.
+* :class:`SortedNeighbourhoodBlocker` — a
+  :class:`~repro.blocking.blockers.SortedWindowBlocker`.  Missing keys sort
+  via an explicit ``(is_missing, key)`` tuple instead of the old ``"~"``
+  string sentinel, which interleaved wrongly with keys sorting above ``"~"``.
 
 Both return unique, deterministically sorted ``(left_id, right_id)`` pairs —
 sorted so downstream candidate order never depends on ``PYTHONHASHSEED`` —
@@ -23,16 +29,19 @@ supplied ground-truth match set so that synthetic workloads keep the same
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Callable, Iterable, Sequence
 
-from ..exceptions import ConfigurationError
-from ..text.tokenize import tokenize
+from ..blocking.blockers import InvertedIndexBlocker, SortedWindowBlocker
 from .records import Record, Table
 
 
-class TokenBlocker:
+class TokenBlocker(InvertedIndexBlocker):
     """Block on shared tokens drawn from one or more attributes.
+
+    The eager face of :class:`~repro.blocking.blockers.InvertedIndexBlocker`:
+    :meth:`block` materialises the full sorted candidate list, while the
+    inherited streaming API (``iter_wave_candidates`` / ``pair_source``) is
+    available for bounded-memory use.
 
     Parameters
     ----------
@@ -51,92 +60,28 @@ class TokenBlocker:
         min_shared: int = 1,
         max_token_frequency: float = 0.1,
     ) -> None:
-        if not attributes:
-            raise ConfigurationError("TokenBlocker requires at least one attribute")
-        if min_shared < 1:
-            raise ConfigurationError("min_shared must be >= 1")
-        if not 0.0 < max_token_frequency <= 1.0:
-            raise ConfigurationError("max_token_frequency must be in (0, 1]")
-        self.attributes = tuple(attributes)
-        self.min_shared = min_shared
-        self.max_token_frequency = max_token_frequency
-
-    def _record_tokens(self, record: Record) -> set[str]:
-        tokens: set[str] = set()
-        for attribute in self.attributes:
-            value = record[attribute]
-            if isinstance(value, str):
-                tokens.update(tokenize(value))
-        return tokens
-
-    def _stop_tokens(self, table: Table) -> set[str]:
-        counts: dict[str, int] = defaultdict(int)
-        for record in table:
-            for token in self._record_tokens(record):
-                counts[token] += 1
-        limit = max(1, int(self.max_token_frequency * len(table)))
-        return {token for token, count in counts.items() if count > limit}
-
-    def block(self, left_table: Table, right_table: Table) -> list[tuple[str, str]]:
-        """Return the candidate ``(left_id, right_id)`` pairs, deterministically sorted.
-
-        The sorted order makes downstream pair order independent of
-        ``PYTHONHASHSEED`` (sets iterate in hash order), so generated
-        workloads are reproducible across processes.
-        """
-        stop = self._stop_tokens(left_table) | self._stop_tokens(right_table)
-        index: dict[str, list[str]] = defaultdict(list)
-        for record in right_table:
-            for token in self._record_tokens(record) - stop:
-                index[token].append(record.record_id)
-
-        shared_counts: dict[tuple[str, str], int] = defaultdict(int)
-        for record in left_table:
-            for token in self._record_tokens(record) - stop:
-                for right_id in index.get(token, ()):
-                    shared_counts[(record.record_id, right_id)] += 1
-        return sorted(pair for pair, count in shared_counts.items() if count >= self.min_shared)
+        super().__init__(
+            attributes, min_shared=min_shared, max_token_frequency=max_token_frequency
+        )
 
 
-class SortedNeighbourhoodBlocker:
+class SortedNeighbourhoodBlocker(SortedWindowBlocker):
     """Block by sorting on a key and pairing records within a sliding window.
+
+    The eager face of :class:`~repro.blocking.blockers.SortedWindowBlocker`.
 
     Parameters
     ----------
     key:
         Function mapping a record to its sort key (e.g. the first tokens of a
-        title).  ``None`` keys sort last.
+        title), or an attribute name.  Missing (``None``/empty) keys sort last.
     window:
         Number of neighbouring records (from the other table) paired with each
         record in the merged sort order.
     """
 
-    def __init__(self, key: Callable[[Record], str], window: int = 5) -> None:
-        if window < 1:
-            raise ConfigurationError("window must be >= 1")
-        self.key = key
-        self.window = window
-
-    def block(self, left_table: Table, right_table: Table) -> list[tuple[str, str]]:
-        """Return the candidate ``(left_id, right_id)`` pairs, deterministically sorted."""
-        entries: list[tuple[str, int, str]] = []
-        for record in left_table:
-            entries.append((self.key(record) or "~", 0, record.record_id))
-        for record in right_table:
-            entries.append((self.key(record) or "~", 1, record.record_id))
-        entries.sort(key=lambda item: item[0])
-
-        pairs: set[tuple[str, str]] = set()
-        for i, (_, side_i, id_i) in enumerate(entries):
-            for j in range(i + 1, min(i + 1 + self.window, len(entries))):
-                _, side_j, id_j = entries[j]
-                if side_i == side_j:
-                    continue
-                if side_i == 0:
-                    pairs.add((id_i, id_j))
-                else:
-                    pairs.add((id_j, id_i))
-        return sorted(pairs)
+    def __init__(self, key: Callable[[Record], str] | str, window: int = 5) -> None:
+        super().__init__(key, window=window)
 
 
 def block_tables(

@@ -405,16 +405,25 @@ def _emit_record(
     return Record(record_id=record_id, values=emitted, source=source)
 
 
-def generate_workload(
+def _build_corpus(
     generator: DomainGenerator,
     config: GenerationConfig,
     name: str,
-) -> Workload:
-    """Generate a complete blocked ER workload for one domain.
+) -> tuple[
+    np.random.Generator,
+    Table,
+    Table,
+    list[tuple[str, str]],
+    dict[int, list[str]],
+    dict[int, list[str]],
+]:
+    """Build the raw corpus (tables + matches) of a generated workload.
 
-    Returns a :class:`~repro.data.workload.Workload` whose candidate pairs
-    comprise every cross-table match, every intra-family hard negative, and
-    random negatives up to ``config.negative_ratio``.
+    This is the candidate-free prefix of :func:`generate_workload`, factored
+    out so :func:`generate_corpus` can produce tables without sampling any
+    pair list.  The returned ``rng`` has consumed exactly the draws the
+    historical inline code consumed, so :func:`generate_workload` continues
+    the sequence bit-identically.
     """
     rng = np.random.default_rng(config.seed)
     entities: list[Entity] = []
@@ -448,6 +457,41 @@ def generate_workload(
             )
             right_ids_by_family.setdefault(entity.family, []).append(right_id)
             matches.append((left_id, right_id))
+
+    return rng, left_table, right_table, matches, left_ids_by_family, right_ids_by_family
+
+
+def generate_corpus(
+    generator: DomainGenerator,
+    config: GenerationConfig,
+    name: str,
+) -> tuple[Table, Table, list[tuple[str, str]]]:
+    """Generate only the raw tables and ground-truth matches of a workload.
+
+    The streaming-blocking entry point: unlike :func:`generate_workload`, no
+    candidate pairs are sampled or materialised — candidate generation is the
+    blocker's job — so memory stays O(records) even for very large corpora.
+    The tables and matches are identical to the ones inside the workload that
+    :func:`generate_workload` would return for the same config and name.
+    """
+    _, left_table, right_table, matches, _, _ = _build_corpus(generator, config, name)
+    return left_table, right_table, matches
+
+
+def generate_workload(
+    generator: DomainGenerator,
+    config: GenerationConfig,
+    name: str,
+) -> Workload:
+    """Generate a complete blocked ER workload for one domain.
+
+    Returns a :class:`~repro.data.workload.Workload` whose candidate pairs
+    comprise every cross-table match, every intra-family hard negative, and
+    random negatives up to ``config.negative_ratio``.
+    """
+    rng, left_table, right_table, matches, left_ids_by_family, right_ids_by_family = (
+        _build_corpus(generator, config, name)
+    )
 
     candidates: set[tuple[str, str]] = set(matches)
     # Hard negatives: every cross-table pair within a family that is not a match.

@@ -308,14 +308,26 @@ class GeneratorSource(PairSource):
         self.name = name
         self.seed = seed
 
-    def _waves(self) -> Iterator[RecordPair]:
+    def iter_wave_workloads(self) -> "Iterator[Workload]":
+        """Yield one generated :class:`Workload` per wave, without bound.
+
+        Wave ``i`` generates with ``seed + i`` and workload name
+        ``<name>#<i>`` — the canonical wave-seeding scheme, shared with
+        :class:`repro.blocking.GeneratedCorpus` so blocked and pre-blocked
+        streams over the same domain/config/seed agree on record identities.
+        Callers bound the stream themselves (``max_pairs`` does it for
+        :meth:`iter_chunks`).
+        """
         from dataclasses import replace
 
         from .generators import generate_workload
 
         for wave in itertools.count():
             config = replace(self.config, seed=self.seed + wave)
-            workload = generate_workload(self.generator, config, name=f"{self.name}#{wave}")
+            yield generate_workload(self.generator, config, name=f"{self.name}#{wave}")
+
+    def _waves(self) -> Iterator[RecordPair]:
+        for workload in self.iter_wave_workloads():
             yield from workload.pairs
 
     def iter_chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[list[RecordPair]]:

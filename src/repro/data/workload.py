@@ -70,6 +70,37 @@ class Workload:
         workload.right_table = source.right_table
         return workload
 
+    @classmethod
+    def blocked(
+        cls,
+        left_table: Table,
+        right_table: Table,
+        blockers,
+        matches: Iterable[tuple[str, str]] | None = (),
+        ensure_matches: bool = True,
+        name: str | None = None,
+    ) -> "Workload":
+        """A lazy workload whose candidates are blocked on the fly.
+
+        Convenience over :meth:`from_source` + :mod:`repro.blocking`: the two
+        tables become a single-wave corpus, ``blockers`` (one or more
+        :class:`~repro.blocking.blockers.Blocker` instances) generate the
+        candidates, and nothing materialises until :attr:`pairs` is touched —
+        chunked consumers stream the blocked pairs in bounded memory.
+        ``matches=None`` marks the corpus unlabeled (pairs get no ground
+        truth); otherwise missed matches are appended per
+        ``ensure_matches``.
+        """
+        from ..blocking import Blocker, BlockingPairSource, TableCorpus
+
+        if isinstance(blockers, Blocker):
+            blockers = [blockers]
+        corpus = TableCorpus(left_table, right_table, matches, name=name)
+        source = BlockingPairSource(
+            corpus, blockers, ensure_matches=ensure_matches, name=name or corpus.name
+        )
+        return cls.from_source(source, name=name)
+
     @property
     def source(self):
         """The backing :class:`~repro.data.sources.PairSource` of a lazy view, or ``None``."""

@@ -1,6 +1,6 @@
 """Command-line operations surface: ``python -m repro.serve``.
 
-Three subcommands cover the model lifecycle:
+The subcommands cover the model lifecycle:
 
 ``fit``
     Fit a pipeline on a built-in workload (``--dataset``) or on CSV files
@@ -10,7 +10,17 @@ Three subcommands cover the model lifecycle:
     declaratively with ``--spec spec.json`` — a
     :meth:`repro.compose.PipelineSpec.to_json` document assembled through the
     component registries, which is also how custom registered components are
-    reached from the command line.
+    reached from the command line.  When the spec names a data backend
+    (``source``) and no ``--dataset``/``--data-dir`` is given, the training
+    workload comes from that backend — including the ``"blocked"`` backend,
+    which blocks raw tables on the fly.
+``block``
+    Run the streaming blocking layer on its own: raw record tables in
+    (``--data-dir`` CSV layout, a built-in ``--dataset``, or a generated
+    ``--domain`` corpus), candidate id pairs out as CSV, streamed chunk by
+    chunk so the candidate set is never held in memory.  The output file uses
+    the :mod:`repro.data.io` pair layout, so it can be streamed back through
+    ``score --chunk-size --input``.
 ``score``
     Load a saved pipeline, score a workload through :class:`RiskService`
     (micro-batched, cached) and print serving statistics; ``--output`` writes
@@ -20,9 +30,11 @@ Three subcommands cover the model lifecycle:
     scored rows are written as they are produced, so a CSV workload of any
     size scores in memory bounded by the chunk (``--input pairs.csv``
     optionally points at a specific candidate-pair file in the data
-    directory).  ``--workers N`` shards the chunks over a worker pool
-    (:mod:`repro.parallel`): rows still come out in exact source order with
-    bit-identical numbers, just faster on multi-core machines.
+    directory; ``--source spec.json`` streams from any registered pair
+    source instead — e.g. a ``"blocked"`` source that generates candidates
+    from raw tables on the fly).  ``--workers N`` shards the chunks over a
+    worker pool (:mod:`repro.parallel`): rows still come out in exact source
+    order with bit-identical numbers, just faster on multi-core machines.
 ``inspect``
     Print a saved model's manifest and risk-model summary without scoring.
 ``explain``
@@ -139,7 +151,15 @@ def _cmd_fit(args: argparse.Namespace) -> int:
         # typo in a config file fails immediately.
         spec = PipelineSpec.from_json(Path(args.spec).read_text())
         pipeline = build_pipeline(spec)
-        workload = _load_workload(args)
+        if not args.dataset and not args.data_dir and spec.source is not None:
+            # No workload flags: train from the spec's own data backend
+            # (e.g. a "blocked" source streaming candidates from raw tables).
+            from ..compose.registries import create_source
+
+            source = create_source(spec.source.kind, spec.source.params, spec.seed)
+            workload = source.materialize()
+        else:
+            workload = _load_workload(args)
         split = split_workload(workload, ratio=args.ratio, seed=spec.seed)
     else:
         workload = _load_workload(args)
@@ -167,13 +187,35 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_component_document(text: str, label: str) -> dict:
+    """A component spec given as a JSON file path or an inline JSON string."""
+    path = Path(text)
+    document = path.read_text() if path.is_file() else text
+    try:
+        data = json.loads(document)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"--{label} must be a JSON file or inline JSON object: {exc}")
+    if not isinstance(data, dict):
+        raise SystemExit(f"--{label} must describe one component as a JSON object")
+    return data
+
+
 def _load_source(args: argparse.Namespace, schema: Schema) -> PairSource:
     """The streaming counterpart of :func:`_load_workload`.
 
     Backend flags resolve in the same priority order as the eager path
-    (``--dataset`` first, then ``--data-dir``), so adding ``--chunk-size`` to
-    an existing command never changes *which* workload is scored.
+    (``--source`` first — it names its backend explicitly — then
+    ``--dataset``, then ``--data-dir``), so adding ``--chunk-size`` to an
+    existing command never changes *which* workload is scored.
     """
+    if getattr(args, "source", None):
+        from ..compose import ComponentSpec
+        from ..compose.registries import create_source
+
+        spec = ComponentSpec.coerce(
+            _parse_component_document(args.source, "source"), "pair source"
+        )
+        return create_source(spec.kind, spec.params, getattr(args, "seed", 0) or 0)
     if args.dataset:
         if getattr(args, "input", None):
             raise SystemExit("--input requires --data-dir (the record tables live there)")
@@ -184,7 +226,7 @@ def _load_source(args: argparse.Namespace, schema: Schema) -> PairSource:
         )
     if getattr(args, "input", None):
         raise SystemExit("--input requires --data-dir (the record tables live there)")
-    raise SystemExit("provide either --dataset or --data-dir")
+    raise SystemExit("provide --dataset, --data-dir or --source")
 
 
 def _metrics_registry(args: argparse.Namespace) -> MetricsRegistry | None:
@@ -291,6 +333,8 @@ def _cmd_score(args: argparse.Namespace) -> int:
         return _cmd_score_streaming(args, pipeline, metrics)
     if args.input:
         raise SystemExit("--input requires --chunk-size (it selects the streamed pair file)")
+    if args.source:
+        raise SystemExit("--source requires --chunk-size (pair sources are streamed)")
     workload = _load_workload(args, schema=pipeline.vectorizer.schema)
     service = RiskService(
         pipeline, max_batch_size=args.batch_size, cache_size=args.cache_size,
@@ -332,6 +376,98 @@ def _cmd_score(args: argparse.Namespace) -> int:
         risk_labels = mislabel_indicator(machine_labels, workload.labels())
         if 0 < risk_labels.sum() < len(risk_labels):
             print(f"  risk ranking AUROC: {auroc_score(risk_labels, risk_scores):.4f}")
+    _write_metrics(args, metrics)
+    return 0
+
+
+def _build_block_corpus(args: argparse.Namespace):
+    """The record corpus a ``block`` run reads (tables in, candidates out)."""
+    from ..blocking import CsvCorpus, DatasetCorpus, GeneratedCorpus
+
+    if args.dataset:
+        return DatasetCorpus(args.dataset, scale=args.scale)
+    if args.data_dir:
+        if not args.schema:
+            raise SystemExit("--schema is required when blocking from --data-dir")
+        return CsvCorpus(args.data_dir, args.name, _load_schema(args.schema))
+    if args.domain:
+        from ..data.generators import GenerationConfig
+
+        config = GenerationConfig(n_base_entities=args.entities, seed=args.seed)
+        return GeneratedCorpus(
+            args.domain, config=config, n_waves=args.waves, name=args.name, seed=args.seed
+        )
+    raise SystemExit("provide --dataset, --data-dir or --domain")
+
+
+def _build_block_blocker(args: argparse.Namespace):
+    """The blocker a ``block`` run applies, from the per-kind flag group."""
+    from ..blocking import InvertedIndexBlocker, MinHashLSHBlocker, SortedWindowBlocker
+
+    if args.blocker in ("inverted", "minhash"):
+        if not args.attributes:
+            raise SystemExit(f"--attributes is required for the {args.blocker} blocker")
+        attributes = [part.strip() for part in args.attributes.split(",") if part.strip()]
+        if args.blocker == "inverted":
+            return InvertedIndexBlocker(
+                attributes,
+                min_shared=args.min_shared,
+                max_token_frequency=args.max_token_frequency,
+            )
+        return MinHashLSHBlocker(attributes, bands=args.bands, rows=args.rows, seed=args.seed)
+    if not args.key_attribute:
+        raise SystemExit("--key-attribute is required for the sorted_window blocker")
+    return SortedWindowBlocker(args.key_attribute, window=args.window)
+
+
+def _cmd_block(args: argparse.Namespace) -> int:
+    """Stream blocked candidate id pairs from raw record tables to CSV.
+
+    Candidates are written chunk by chunk as each wave's index is probed —
+    the full candidate set is never held in memory, so corpus size is bounded
+    only by one wave's tables.  Recall against the corpus's ground-truth
+    matches (when it has any) is tracked incrementally the same way.
+    """
+    from ..blocking.blockers import chunk_id_pairs
+    from ..obs import get_recorder
+
+    corpus = _build_block_corpus(args)
+    blocker = _build_block_blocker(args)
+    metrics = _metrics_registry(args)
+    recording = use_recorder(metrics) if metrics is not None else nullcontext()
+
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    candidates = 0
+    waves = 0
+    total_matches = 0
+    found_matches = 0
+    with recording, output.open("w", newline="") as handle:
+        recorder = get_recorder()
+        writer = csv.writer(handle)
+        writer.writerow(("left_id", "right_id"))
+        for wave in corpus.waves():
+            waves += 1
+            recorder.count("blocking.waves")
+            remaining = set(wave.matches)
+            total_matches += len(remaining)
+            for chunk in chunk_id_pairs(blocker.iter_wave_candidates(wave), args.chunk_size):
+                recorder.count("blocking.candidates_emitted", len(chunk))
+                writer.writerows(chunk)
+                candidates += len(chunk)
+                for pair in chunk:
+                    remaining.discard(pair)
+            found_matches += len(wave.matches) - len(remaining)
+
+    print(
+        f"blocked {corpus.name} with {blocker.name}: "
+        f"{candidates} candidate pairs over {waves} wave(s) -> {output}"
+    )
+    if total_matches:
+        print(
+            f"  recall: {found_matches / total_matches:.4f} "
+            f"({found_matches}/{total_matches} ground-truth matches retained)"
+        )
     _write_metrics(args, metrics)
     return 0
 
@@ -472,6 +608,46 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--seed", type=int, default=0)
     fit.set_defaults(handler=_cmd_fit)
 
+    block = subparsers.add_parser(
+        "block", help="stream blocked candidate pairs from raw record tables to CSV"
+    )
+    add_workload_arguments(block, with_schema=True)
+    block.add_argument("--domain",
+                       help="generate the corpus from this synthetic domain "
+                            "(bibliographic, product, software, song) instead of "
+                            "--dataset/--data-dir")
+    block.add_argument("--entities", type=_positive_int, default=400,
+                       help="base entities per generated wave (default 400)")
+    block.add_argument("--waves", type=_positive_int, default=1,
+                       help="number of generated waves (default 1)")
+    block.add_argument("--blocker", choices=("inverted", "minhash", "sorted_window"),
+                       default="inverted", help="blocking strategy (default inverted)")
+    block.add_argument("--attributes",
+                       help="comma-separated blocking attributes (inverted/minhash)")
+    block.add_argument("--min-shared", type=_positive_int, default=1,
+                       help="min shared tokens for the inverted blocker (default 1)")
+    block.add_argument("--max-token-frequency", type=float, default=0.1,
+                       help="stop-token document-frequency cutoff (default 0.1)")
+    block.add_argument("--bands", type=_positive_int, default=8,
+                       help="MinHash-LSH bands (default 8)")
+    block.add_argument("--rows", type=_positive_int, default=4,
+                       help="MinHash rows per band (default 4)")
+    block.add_argument("--window", type=_positive_int, default=5,
+                       help="sorted_window neighbourhood size (default 5)")
+    block.add_argument("--key-attribute",
+                       help="sort-key attribute for the sorted_window blocker")
+    block.add_argument("--output", required=True,
+                       help="candidate-pair CSV to write (left_id,right_id rows, "
+                            "streamed chunk by chunk)")
+    block.add_argument("--chunk-size", type=_positive_int, default=1024,
+                       help="pairs per written chunk (default 1024)")
+    block.add_argument("--seed", type=int, default=0,
+                       help="seed for generated corpora and the minhash blocker")
+    block.add_argument("--metrics-out",
+                       help="write a JSON metrics snapshot (index-build spans, "
+                            "candidate counters) to this file")
+    block.set_defaults(handler=_cmd_block)
+
     score = subparsers.add_parser("score", help="score a workload with a saved pipeline")
     add_workload_arguments(score, with_schema=False)
     score.add_argument("--model", required=True, help="saved model directory")
@@ -486,6 +662,12 @@ def build_parser() -> argparse.ArgumentParser:
     score.add_argument("--input",
                        help="candidate-pair CSV streamed instead of <name>_pairs.csv "
                             "(requires --data-dir and --chunk-size)")
+    score.add_argument("--source",
+                       help="pair-source component spec (JSON file or inline JSON, "
+                            "{\"kind\": ..., \"params\": {...}}) streamed instead of "
+                            "--dataset/--data-dir; e.g. a 'blocked' source that "
+                            "generates candidates from raw tables (requires "
+                            "--chunk-size)")
     score.add_argument("--workers", type=_positive_int, default=None,
                        help="score with this many pool workers (sharded, deterministic "
                             "order, bit-identical output; default: the model spec's "

@@ -1,0 +1,136 @@
+"""Unit tests for the streaming blockers (repro.blocking.blockers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking import (
+    CorpusWave,
+    InvertedIndexBlocker,
+    MinHashLSHBlocker,
+    SortedWindowBlocker,
+    TableCorpus,
+    create_blocker,
+    registered_blockers,
+)
+from repro.data.records import Record, Table
+from repro.data.schema import Attribute, AttributeType, Schema
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def product_wave():
+    schema = Schema((Attribute("name", AttributeType.TEXT),))
+    left = Table("left", schema)
+    right = Table("right", schema)
+    for record_id, name in [
+        ("l1", "sony bravia television"),
+        ("l2", "panasonic lumix camera"),
+        ("l3", "bose quietcomfort headphones"),
+    ]:
+        left.add(Record(record_id, {"name": name}))
+    for record_id, name in [
+        ("r1", "sony bravia tv"),
+        ("r2", "lumix camera by panasonic"),
+        ("r3", "completely unrelated blender"),
+    ]:
+        right.add(Record(record_id, {"name": name}))
+    return CorpusWave(left, right)
+
+
+class TestInvertedIndexBlocker:
+    def test_streamed_candidates_match_block(self, product_wave):
+        blocker = InvertedIndexBlocker(["name"], max_token_frequency=1.0)
+        streamed = list(blocker.iter_wave_candidates(product_wave))
+        assert sorted(streamed) == blocker.block(product_wave.left, product_wave.right)
+
+    def test_stream_is_duplicate_free(self, product_wave):
+        blocker = InvertedIndexBlocker(["name"], max_token_frequency=1.0)
+        streamed = list(blocker.iter_wave_candidates(product_wave))
+        assert len(streamed) == len(set(streamed))
+
+    def test_explicit_stop_tokens_skip_frequency_pass(self, product_wave):
+        blocker = InvertedIndexBlocker(["name"], stop_tokens={"sony", "bravia"})
+        pairs = blocker.block(product_wave.left, product_wave.right)
+        assert ("l1", "r1") not in pairs  # all shared tokens stopped
+        assert ("l2", "r2") in pairs
+
+    def test_chunked_emission(self, product_wave):
+        blocker = InvertedIndexBlocker(["name"], max_token_frequency=1.0)
+        corpus = TableCorpus(product_wave.left, product_wave.right)
+        chunks = list(blocker.iter_candidate_chunks(corpus, chunk_size=1))
+        assert all(len(chunk) == 1 for chunk in chunks)
+        flat = [pair for chunk in chunks for pair in chunk]
+        assert sorted(flat) == blocker.block(product_wave.left, product_wave.right)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            InvertedIndexBlocker([])
+        with pytest.raises(ConfigurationError):
+            InvertedIndexBlocker(["name"], min_shared=0)
+        with pytest.raises(ConfigurationError):
+            InvertedIndexBlocker(["name"], max_token_frequency=1.5)
+
+
+class TestMinHashLSHBlocker:
+    def test_near_duplicates_collide(self, product_wave):
+        blocker = MinHashLSHBlocker(["name"], bands=16, rows=1, seed=0)
+        pairs = blocker.block(product_wave.left, product_wave.right)
+        assert ("l1", "r1") in pairs
+        assert ("l2", "r2") in pairs
+
+    def test_streamed_matches_block_and_is_unique(self, product_wave):
+        blocker = MinHashLSHBlocker(["name"], bands=8, rows=2, seed=3)
+        streamed = list(blocker.iter_wave_candidates(product_wave))
+        assert len(streamed) == len(set(streamed))
+        assert sorted(streamed) == blocker.block(product_wave.left, product_wave.right)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            MinHashLSHBlocker([])
+
+
+class TestSortedWindowBlocker:
+    def test_attribute_key_equivalent_to_callable(self, product_wave):
+        by_name = SortedWindowBlocker("name", window=3)
+        by_callable = SortedWindowBlocker(
+            lambda record: None if record["name"] is None else str(record["name"]), window=3
+        )
+        left, right = product_wave.left, product_wave.right
+        assert by_name.block(left, right) == by_callable.block(left, right)
+
+    def test_stream_is_duplicate_free(self, product_wave):
+        blocker = SortedWindowBlocker("name", window=4)
+        streamed = list(blocker.iter_wave_candidates(product_wave))
+        assert len(streamed) == len(set(streamed))
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            SortedWindowBlocker("name", window=0)
+
+
+class TestBlockerRegistry:
+    def test_builtins_registered(self):
+        assert {"inverted", "minhash", "sorted_window"} <= set(registered_blockers())
+
+    def test_create_from_spec(self):
+        blocker = create_blocker(
+            {"kind": "inverted", "params": {"attributes": ["name"], "min_shared": 2}}
+        )
+        assert isinstance(blocker, InvertedIndexBlocker)
+        assert blocker.min_shared == 2
+
+    def test_seed_injected_into_minhash(self):
+        blocker = create_blocker(
+            {"kind": "minhash", "params": {"attributes": ["name"]}}, seed=42
+        )
+        assert isinstance(blocker, MinHashLSHBlocker)
+        assert blocker.seed == 42
+
+    def test_instances_pass_through(self):
+        blocker = SortedWindowBlocker("name")
+        assert create_blocker(blocker) is blocker
+
+    def test_sorted_window_requires_key_attribute(self):
+        with pytest.raises(ConfigurationError):
+            create_blocker({"kind": "sorted_window", "params": {"window": 3}})

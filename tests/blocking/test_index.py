@@ -1,0 +1,124 @@
+"""Unit tests for the blocking index layer (repro.blocking.index)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking.index import (
+    InvertedIndex,
+    MinHashIndex,
+    record_token_set,
+    token_base_hashes,
+)
+from repro.data.records import Record
+from repro.exceptions import ConfigurationError
+
+
+def _record(record_id: str, name: str) -> Record:
+    return Record(record_id, {"name": name})
+
+
+class TestRecordTokenSet:
+    def test_tokens_over_attributes(self):
+        record = Record("r1", {"name": "Sony Bravia TV", "desc": "great TV"})
+        assert record_token_set(record, ["name"]) == {"sony", "bravia", "tv"}
+        assert record_token_set(record, ["name", "desc"]) == {"sony", "bravia", "tv", "great"}
+
+    def test_non_string_values_ignored(self):
+        record = Record("r1", {"name": None, "year": 1999})
+        assert record_token_set(record, ["name", "year"]) == frozenset()
+
+
+class TestInvertedIndex:
+    def test_probe_returns_sorted_matches(self):
+        index = InvertedIndex()
+        index.add("r2", frozenset({"lumix", "camera"}))
+        index.add("r1", frozenset({"sony", "tv"}))
+        assert index.candidates(frozenset({"tv", "camera"})) == ["r1", "r2"]
+        assert index.size == 2
+
+    def test_min_shared_threshold(self):
+        index = InvertedIndex(min_shared=2)
+        index.add("r1", frozenset({"sony", "bravia", "tv"}))
+        index.add("r2", frozenset({"sony"}))
+        assert index.candidates(frozenset({"sony", "tv"})) == ["r1"]
+
+    def test_stop_tokens_excluded_both_ways(self):
+        index = InvertedIndex(stop_tokens={"the"})
+        index.add("r1", frozenset({"the", "matrix"}))
+        assert index.candidates(frozenset({"the"})) == []
+        assert index.candidates(frozenset({"matrix"})) == ["r1"]
+
+    def test_max_postings_prunes_hot_tokens(self):
+        index = InvertedIndex(max_postings=2)
+        for i in range(4):
+            index.add(f"r{i}", frozenset({"common", f"rare{i}"}))
+        assert "common" in index.pruned_tokens
+        # the hot token no longer matches; the rare ones still do
+        assert index.candidates(frozenset({"common"})) == []
+        assert index.candidates(frozenset({"rare3"})) == ["r3"]
+        assert index.n_tokens == 4  # the four rare tokens remain live
+
+    def test_posting_mass_metadata(self):
+        index = InvertedIndex()
+        index.add("r1", frozenset({"a", "b"}))
+        index.add("r2", frozenset({"b"}))
+        assert index.n_tokens == 2
+        assert index.n_postings == 3
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            InvertedIndex(min_shared=0)
+        with pytest.raises(ConfigurationError):
+            InvertedIndex(max_postings=0)
+
+
+class TestMinHashIndex:
+    def test_identical_token_sets_always_collide(self):
+        index = MinHashIndex(bands=4, rows=2, seed=0)
+        tokens = frozenset({"sony", "bravia", "tv"})
+        index.add("r1", tokens)
+        assert index.candidates(tokens) == ["r1"]
+
+    def test_disjoint_token_sets_do_not_collide(self):
+        index = MinHashIndex(bands=4, rows=4, seed=0)
+        index.add("r1", frozenset({"alpha", "beta", "gamma"}))
+        assert index.candidates(frozenset({"delta", "epsilon", "zeta"})) == []
+
+    def test_empty_token_sets_never_match(self):
+        index = MinHashIndex(bands=2, rows=2)
+        index.add("r1", frozenset())
+        assert index.candidates(frozenset()) == []
+        assert index.candidates(frozenset({"token"})) == []
+        assert index.size == 1
+
+    def test_deterministic_across_instances(self):
+        tokens = frozenset({"streaming", "blocking", "layer"})
+        first = MinHashIndex(bands=6, rows=3, seed=9).signature_bands(tokens)
+        second = MinHashIndex(bands=6, rows=3, seed=9).signature_bands(tokens)
+        assert first == second
+
+    def test_band_signatures_prefix_stable(self):
+        # Band k's signature must not depend on how many bands exist: this is
+        # the property that makes LSH recall monotone in the band count.
+        tokens = frozenset({"streaming", "blocking", "layer"})
+        small = MinHashIndex(bands=3, rows=4, seed=5).signature_bands(tokens)
+        large = MinHashIndex(bands=9, rows=4, seed=5).signature_bands(tokens)
+        assert large[: len(small)] == small
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            MinHashIndex(bands=0)
+        with pytest.raises(ConfigurationError):
+            MinHashIndex(rows=0)
+
+
+class TestTokenBaseHashes:
+    def test_deterministic_and_sorted_by_token(self):
+        tokens = frozenset({"b", "a", "c"})
+        hashes = token_base_hashes(tokens)
+        assert hashes.shape == (3,)
+        assert list(hashes) == list(token_base_hashes(frozenset({"c", "b", "a"})))
+
+    def test_empty(self):
+        assert token_base_hashes(frozenset()).size == 0

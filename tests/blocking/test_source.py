@@ -1,0 +1,218 @@
+"""Tests for BlockingPairSource and the corpus streams feeding it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking import (
+    BlockingPairSource,
+    CsvCorpus,
+    GeneratedCorpus,
+    InvertedIndexBlocker,
+    MinHashLSHBlocker,
+    SortedWindowBlocker,
+    TableCorpus,
+    create_corpus,
+    registered_corpora,
+)
+from repro.data.generators import GenerationConfig, generate_workload, make_generator
+from repro.data.io import export_workload
+from repro.data.records import MATCH
+from repro.data.sources import GeneratorSource
+from repro.data.workload import Workload
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return generate_workload(
+        make_generator("bibliographic"), GenerationConfig(n_base_entities=60, seed=4), "blk"
+    )
+
+
+@pytest.fixture(scope="module")
+def labeled_corpus(small_workload):
+    matches = [p.pair_id for p in small_workload.pairs if p.ground_truth == MATCH]
+    return TableCorpus(
+        small_workload.left_table, small_workload.right_table, matches, name="blk"
+    )
+
+
+class TestBlockingPairSource:
+    def test_streamed_ids_match_eager_block(self, labeled_corpus):
+        blocker = InvertedIndexBlocker(["title"], max_token_frequency=0.3)
+        source = BlockingPairSource(labeled_corpus, [blocker], ensure_matches=False)
+        streamed = [pair.pair_id for chunk in source.iter_chunks(64) for pair in chunk]
+        assert len(streamed) == len(set(streamed))
+        wave = next(iter(labeled_corpus.waves()))
+        assert sorted(streamed) == blocker.block(wave.left, wave.right)
+
+    def test_labels_come_from_corpus_matches(self, labeled_corpus):
+        blocker = InvertedIndexBlocker(["title"], max_token_frequency=0.3)
+        source = BlockingPairSource(labeled_corpus, [blocker], ensure_matches=False)
+        wave = next(iter(labeled_corpus.waves()))
+        for pair in source:
+            expected = MATCH if pair.pair_id in wave.matches else 0
+            assert pair.ground_truth == expected
+
+    def test_ensure_matches_gives_full_recall(self, labeled_corpus):
+        # A deliberately weak blocker misses matches; ensure_matches appends them.
+        blocker = InvertedIndexBlocker(["title"], min_shared=4, max_token_frequency=0.05)
+        weak = BlockingPairSource(labeled_corpus, [blocker], ensure_matches=False)
+        ensured = BlockingPairSource(labeled_corpus, [blocker], ensure_matches=True)
+        wave = next(iter(labeled_corpus.waves()))
+        weak_ids = {pair.pair_id for pair in weak}
+        ensured_ids = {pair.pair_id for pair in ensured}
+        assert not wave.matches <= weak_ids  # the weak blocker really does miss some
+        assert wave.matches <= ensured_ids
+        assert ensured_ids - weak_ids <= wave.matches  # only matches are appended
+        for pair in ensured:
+            if pair.pair_id in wave.matches:
+                assert pair.ground_truth == MATCH
+
+    def test_unlabeled_corpus_yields_unlabeled_pairs(self, small_workload):
+        corpus = TableCorpus(
+            small_workload.left_table, small_workload.right_table, matches=None
+        )
+        source = BlockingPairSource(
+            corpus, [InvertedIndexBlocker(["title"], max_token_frequency=0.3)]
+        )
+        assert source.labeled is False
+        first_chunk = next(source.iter_chunks(16))
+        assert all(pair.ground_truth is None for pair in first_chunk)
+
+    def test_multi_blocker_union_per_record(self, labeled_corpus):
+        token = InvertedIndexBlocker(["title"], max_token_frequency=0.3)
+        lsh = MinHashLSHBlocker(["title"], bands=4, rows=4, seed=0)
+        union_source = BlockingPairSource(
+            labeled_corpus, [token, lsh], ensure_matches=False
+        )
+        wave = next(iter(labeled_corpus.waves()))
+        expected = set(token.block(wave.left, wave.right)) | set(
+            lsh.block(wave.left, wave.right)
+        )
+        streamed = [pair.pair_id for pair in union_source]
+        assert len(streamed) == len(set(streamed))
+        assert set(streamed) == expected
+
+    def test_window_blocker_allowed_alone_but_not_combined(self, labeled_corpus):
+        window = SortedWindowBlocker("title", window=3)
+        source = BlockingPairSource(labeled_corpus, [window], ensure_matches=False)
+        wave = next(iter(labeled_corpus.waves()))
+        assert sorted(pair.pair_id for pair in source) == window.block(wave.left, wave.right)
+        with pytest.raises(ConfigurationError):
+            BlockingPairSource(
+                labeled_corpus, [window, InvertedIndexBlocker(["title"])]
+            )
+
+    def test_reiterable(self, labeled_corpus):
+        source = BlockingPairSource(
+            labeled_corpus, [InvertedIndexBlocker(["title"], max_token_frequency=0.3)]
+        )
+        first = [pair.pair_id for pair in source]
+        second = [pair.pair_id for pair in source]
+        assert first == second
+
+    def test_single_wave_tables_exposed(self, labeled_corpus, small_workload):
+        source = BlockingPairSource(labeled_corpus, [InvertedIndexBlocker(["title"])])
+        assert source.left_table is small_workload.left_table
+        assert source.right_table is small_workload.right_table
+        assert source.length is None
+
+    def test_workload_from_blocked_source_stays_lazy(self, labeled_corpus):
+        source = BlockingPairSource(
+            labeled_corpus, [InvertedIndexBlocker(["title"], max_token_frequency=0.3)]
+        )
+        workload = Workload.from_source(source)
+        assert not workload.is_materialized
+        chunk = next(workload.iter_chunks(32))
+        assert len(chunk) == 32
+        assert not workload.is_materialized  # chunked access never materialises
+
+    def test_workload_blocked_convenience(self, small_workload):
+        matches = [p.pair_id for p in small_workload.pairs if p.ground_truth == MATCH]
+        workload = Workload.blocked(
+            small_workload.left_table,
+            small_workload.right_table,
+            InvertedIndexBlocker(["title"], max_token_frequency=0.3),
+            matches=matches,
+            name="blocked-demo",
+        )
+        assert workload.name == "blocked-demo"
+        assert not workload.is_materialized
+        assert set(matches) <= {pair.pair_id for pair in workload.pairs}
+
+    def test_requires_a_blocker(self, labeled_corpus):
+        with pytest.raises(ConfigurationError):
+            BlockingPairSource(labeled_corpus, [])
+
+    def test_unbounded_corpus_cannot_materialize(self):
+        corpus = GeneratedCorpus(
+            "bibliographic", GenerationConfig(n_base_entities=20), n_waves=None
+        )
+        source = BlockingPairSource(corpus, [InvertedIndexBlocker(["title"])])
+        with pytest.raises(ConfigurationError):
+            source.materialize()
+
+
+class TestCorpora:
+    def test_generated_corpus_matches_generator_source_waves(self):
+        # The blocked stream and the pre-blocked stream must agree on record
+        # identities wave by wave (same seeding scheme).
+        config = GenerationConfig(n_base_entities=30, seed=2)
+        corpus = GeneratedCorpus("bibliographic", config, n_waves=2, name="syn", seed=5)
+        source = GeneratorSource("bibliographic", config, name="syn", seed=5)
+        wave_workloads = source.iter_wave_workloads()
+        for wave in corpus.waves():
+            workload = next(wave_workloads)
+            assert [r.record_id for r in wave.left] == [
+                r.record_id for r in workload.left_table
+            ]
+            assert [r.values for r in wave.right] == [
+                r.values for r in workload.right_table
+            ]
+            assert wave.matches == {
+                p.pair_id for p in workload.pairs if p.ground_truth == MATCH
+            }
+
+    def test_generated_corpus_bounded_wave_count(self):
+        corpus = GeneratedCorpus(
+            "product", GenerationConfig(n_base_entities=20), n_waves=3
+        )
+        assert corpus.n_waves == 3
+        assert len(list(corpus.waves())) == 3
+
+    def test_csv_corpus_round_trip(self, tmp_path, small_workload):
+        export_workload(small_workload, tmp_path)
+        corpus = CsvCorpus(tmp_path, small_workload.name, small_workload.left_table.schema)
+        assert corpus.labeled is True
+        wave = next(iter(corpus.waves()))
+        assert [r.record_id for r in wave.left] == [
+            r.record_id for r in small_workload.left_table
+        ]
+        assert wave.matches == {
+            p.pair_id for p in small_workload.pairs if p.ground_truth == MATCH
+        }
+
+    def test_csv_corpus_without_matches_is_unlabeled(self, tmp_path, small_workload):
+        export_workload(small_workload, tmp_path)
+        (tmp_path / f"{small_workload.name}_matches.csv").unlink()
+        corpus = CsvCorpus(tmp_path, small_workload.name, small_workload.left_table.schema)
+        assert corpus.labeled is False
+
+    def test_registry_and_create_corpus(self):
+        assert {"csv", "dataset", "generator"} <= set(registered_corpora())
+        corpus = create_corpus(
+            {"kind": "generator", "domain": "song", "config": {"n_base_entities": 15},
+             "n_waves": 2, "name": "songs"},
+            seed=9,
+        )
+        assert isinstance(corpus, GeneratedCorpus)
+        assert corpus.seed == 9
+        assert corpus.n_waves == 2
+
+    def test_create_corpus_rejects_bad_specs(self):
+        with pytest.raises(ConfigurationError):
+            create_corpus({"domain": "song"})
+        with pytest.raises(ConfigurationError):
+            create_corpus({"kind": "no-such-corpus"})

@@ -152,7 +152,9 @@ class TestServiceStreamingParity:
 
 class TestSpecNamedSources:
     def test_registered_backends(self):
-        assert {"csv", "dataset", "generator", "sharded"} <= set(registered_sources())
+        assert {"csv", "dataset", "generator", "sharded", "blocked"} <= set(
+            registered_sources()
+        )
 
     def test_spec_source_roundtrips_through_build_pipeline(self, csv_test_dir, ds_split):
         schema = ds_split.test.left_table.schema
@@ -193,6 +195,34 @@ class TestSpecNamedSources:
             {"domain": "product", "config": {"n_base_entities": 30}, "max_pairs": 40},
         )
         assert sum(len(chunk) for chunk in generator.iter_chunks(16)) == 40
+
+    def test_blocked_source_from_registry(self):
+        from repro.blocking import BlockingPairSource
+
+        blocked = create_source("blocked", {
+            "corpus": {
+                "kind": "generator", "domain": "song",
+                "config": {"n_base_entities": 30}, "n_waves": 1,
+            },
+            "blockers": [
+                {"kind": "inverted", "params": {"attributes": ["title"]}},
+            ],
+        }, seed=7)
+        assert isinstance(blocked, BlockingPairSource)
+        assert blocked.labeled is True
+        pairs = [pair.pair_id for chunk in blocked.iter_chunks(64) for pair in chunk]
+        assert pairs and len(pairs) == len(set(pairs))
+
+    def test_blocked_source_requires_corpus_and_blockers(self):
+        with pytest.raises(ConfigurationError, match="corpus"):
+            create_source("blocked", {"blockers": [
+                {"kind": "inverted", "params": {"attributes": ["title"]}}
+            ]})
+        with pytest.raises(ConfigurationError, match="blocker"):
+            create_source("blocked", {"corpus": {
+                "kind": "generator", "domain": "song",
+                "config": {"n_base_entities": 30}, "n_waves": 1,
+            }})
 
     def test_sharded_source_from_registry(self):
         sharded = create_source("sharded", {

@@ -308,6 +308,54 @@ class TestCli:
         scored = int(re.search(r"scored (\d+) pairs", printed).group(1))
         assert scored < len(workload)
 
+    def test_score_blocked_source(
+        self, fitted_model_dir, csv_workload_dir, schema_file, tmp_path, capsys
+    ):
+        # --source with a "blocked" backend: raw tables are blocked on the
+        # fly and the candidates streamed straight into scoring — no
+        # pre-blocked pair CSV is ever read.
+        directory, workload = csv_workload_dir
+        source_file = tmp_path / "source.json"
+        source_file.write_text(json.dumps({
+            "kind": "blocked",
+            "params": {
+                "corpus": {
+                    "kind": "csv",
+                    "directory": str(directory),
+                    "name": workload.name,
+                    "schema": str(schema_file),
+                },
+                "blockers": [{
+                    "kind": "inverted",
+                    "params": {"attributes": ["title"], "max_token_frequency": 0.3},
+                }],
+            },
+        }))
+        output = tmp_path / "blocked-scored.csv"
+        exit_code = main([
+            "score", "--model", str(fitted_model_dir),
+            "--source", str(source_file),
+            "--chunk-size", "64",
+            "--output", str(output),
+        ])
+        assert exit_code == 0
+        assert "streamed, chunk size 64" in capsys.readouterr().out
+        with output.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows
+        assert set(rows[0]) == {
+            "left_id", "right_id", "probability", "machine_label", "risk_score"
+        }
+
+    def test_score_source_requires_chunk_size(self, fitted_model_dir, tmp_path):
+        source_file = tmp_path / "source.json"
+        source_file.write_text(json.dumps({"kind": "dataset", "params": {"name": "DS"}}))
+        with pytest.raises(SystemExit):
+            main([
+                "score", "--model", str(fitted_model_dir),
+                "--source", str(source_file),
+            ])
+
     def test_inspect(self, fitted_model_dir, capsys):
         exit_code = main(["inspect", "--model", str(fitted_model_dir), "--rules", "2"])
         assert exit_code == 0
@@ -319,3 +367,110 @@ class TestCli:
         exit_code = main(["score", "--model", str(tmp_path / "absent"), "--dataset", "DS"])
         assert exit_code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestBlockCli:
+    """The ``block`` subcommand: raw tables in, streamed candidate CSV out."""
+
+    def _read_pairs(self, path):
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["left_id", "right_id"]
+        return [tuple(row) for row in rows[1:]]
+
+    def test_block_generated_corpus(self, tmp_path, capsys):
+        output = tmp_path / "candidates.csv"
+        metrics = tmp_path / "metrics.json"
+        exit_code = main([
+            "block", "--domain", "bibliographic", "--entities", "60", "--waves", "2",
+            "--blocker", "inverted", "--attributes", "title,authors",
+            "--output", str(output), "--seed", "3", "--metrics-out", str(metrics),
+        ])
+        assert exit_code == 0
+        printed = capsys.readouterr().out
+        assert "recall" in printed
+
+        from repro.blocking import GeneratedCorpus, InvertedIndexBlocker
+        from repro.data.generators import GenerationConfig
+
+        corpus = GeneratedCorpus(
+            "bibliographic", GenerationConfig(n_base_entities=60), n_waves=2, seed=3
+        )
+        blocker = InvertedIndexBlocker(["title", "authors"])
+        expected = [
+            pair for wave in corpus.waves() for pair in blocker.iter_wave_candidates(wave)
+        ]
+        assert self._read_pairs(output) == expected
+
+        snapshot = json.loads(metrics.read_text())
+        counters = snapshot["counters"]
+        assert counters["blocking.waves"] == 2
+        assert counters["blocking.candidates_emitted"] == len(expected)
+        assert "blocking_index_build" in snapshot["spans"]
+
+    def test_block_csv_corpus_sorted_window(self, ds_workload, tmp_path):
+        directory = tmp_path / "corpus"
+        export_workload(ds_workload, directory)
+        schema_file = tmp_path / "schema.json"
+        schema_file.write_text(json.dumps(ds_workload.left_table.schema.to_dict()))
+        output = tmp_path / "candidates.csv"
+        exit_code = main([
+            "block", "--data-dir", str(directory), "--name", ds_workload.name,
+            "--schema", str(schema_file),
+            "--blocker", "sorted_window", "--key-attribute", "title", "--window", "3",
+            "--output", str(output),
+        ])
+        assert exit_code == 0
+
+        from repro.blocking import SortedWindowBlocker
+
+        expected = SortedWindowBlocker("title", window=3).block(
+            ds_workload.left_table, ds_workload.right_table
+        )
+        assert sorted(self._read_pairs(output)) == expected
+
+    def test_block_inverted_requires_attributes(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "block", "--domain", "product", "--blocker", "inverted",
+                "--output", str(tmp_path / "out.csv"),
+            ])
+
+    def test_block_sorted_window_requires_key(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "block", "--domain", "product", "--blocker", "sorted_window",
+                "--output", str(tmp_path / "out.csv"),
+            ])
+
+    def test_fit_from_spec_blocked_source(self, tmp_path):
+        # A spec whose source is a "blocked" backend trains end-to-end with no
+        # pre-blocked pair list anywhere on disk.
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps({
+            "classifier": {"kind": "logistic", "params": {"epochs": 40}},
+            "training": {"epochs": 20},
+            "source": {
+                "kind": "blocked",
+                "params": {
+                    "corpus": {
+                        "kind": "generator",
+                        "domain": "bibliographic",
+                        "config": {"n_base_entities": 80},
+                        "n_waves": 1,
+                        "name": "blocked-fit",
+                    },
+                    "blockers": [{
+                        "kind": "inverted",
+                        "params": {"attributes": ["title", "authors"], "min_shared": 2},
+                    }],
+                },
+            },
+            "seed": 1,
+        }))
+        model_dir = tmp_path / "model"
+        exit_code = main([
+            "fit", "--spec", str(spec_file), "--output", str(model_dir),
+        ])
+        assert exit_code == 0
+        assert (model_dir / "manifest.json").exists()
