@@ -1,0 +1,328 @@
+"""HTTP serving benchmark: latency and throughput vs concurrency, with coalescing.
+
+A load generator drives the ``repro.serve.http`` tier the way external
+clients would: ``N`` worker threads, each with one persistent keep-alive
+connection, fire single-pair ``POST /score`` requests as fast as responses
+come back.  For every concurrency level the benchmark reports request
+latency (p50/p99), throughput, and — from the server's own ``/stats``
+counters — how large the coalesced micro-batches actually got.
+
+The claims pinned by ``--smoke`` (the CI guard):
+
+* **parity** — every coalesced response is bit-identical to a direct
+  :class:`repro.serve.RiskService` call on the same saved model (coalescing
+  composes requests, it never changes scores);
+* **coalescing works** — the mean micro-batch fill at the highest
+  concurrency level is measurably larger than at concurrency 1 (where it is
+  exactly 1.0 by construction).
+
+Run directly (``python benchmarks/bench_serving_http.py``), through
+pytest-benchmark, or as the CI guard
+(``python benchmarks/bench_serving_http.py --smoke``).  The JSON report goes
+to ``BENCH_serving_http.json`` (``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.classifiers import MLPClassifier
+from repro.data import load_dataset, split_workload
+from repro.pipeline import LearnRiskPipeline
+from repro.risk.onesided_tree import OneSidedTreeConfig
+from repro.risk.training import TrainingConfig
+from repro.serve import RiskService, load_pipeline, save_pipeline
+from repro.serve.http import (
+    ServerConfig,
+    ServerHandle,
+    build_server,
+    pair_to_payload,
+    scored_pair_payload,
+)
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serving_http.json"
+
+
+def fit_and_save(scale: float, model_dir: Path):
+    """Fit a pipeline on the DS analogue and save it; returns the split."""
+    workload = load_dataset("DS", scale=scale)
+    split = split_workload(workload, ratio=(3, 2, 5), seed=0)
+    pipeline = LearnRiskPipeline(
+        classifier=MLPClassifier(hidden_sizes=(16,), epochs=20, seed=0),
+        tree_config=OneSidedTreeConfig(max_depth=2, min_support=4, max_thresholds=24),
+        training_config=TrainingConfig(epochs=40),
+        seed=0,
+    )
+    pipeline.fit(split.train, split.validation)
+    save_pipeline(pipeline, model_dir)
+    return split
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = q / 100.0 * (len(sorted_values) - 1)
+    return sorted_values[int(round(rank))]
+
+
+def fetch_counters(host: str, port: int) -> dict[str, float]:
+    connection = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        connection.request("GET", "/stats")
+        body = json.loads(connection.getresponse().read())
+        return body["metrics"]["counters"]
+    finally:
+        connection.close()
+
+
+def run_level(
+    host: str,
+    port: int,
+    bodies: list[bytes],
+    expected: list[dict],
+    concurrency: int,
+    total_requests: int,
+) -> dict:
+    """One load level: ``concurrency`` persistent connections, shared request count."""
+    latencies = [0.0] * total_requests
+    mismatches = [0] * concurrency
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(concurrency + 1)
+
+    def worker(worker_id: int) -> None:
+        connection = http.client.HTTPConnection(host, port, timeout=120)
+        try:
+            barrier.wait()
+            for index in range(worker_id, total_requests, concurrency):
+                probe_index = index % len(bodies)
+                started = time.perf_counter()
+                connection.request(
+                    "POST", "/score", body=bodies[probe_index],
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                payload = json.loads(response.read())
+                latencies[index] = time.perf_counter() - started
+                if response.status != 200:
+                    raise RuntimeError(f"HTTP {response.status}: {payload}")
+                # Bit-identical parity with the direct RiskService reference.
+                if payload["result"] != expected[probe_index]:
+                    mismatches[worker_id] += 1
+        except BaseException as exc:  # noqa: BLE001 - reported after join
+            errors.append(exc)
+            raise
+        finally:
+            connection.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(worker_id,))
+        for worker_id in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+
+    before = fetch_counters(host, port)
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - started
+    after = fetch_counters(host, port)
+    if errors:
+        raise RuntimeError(f"load worker failed: {errors[0]!r}") from errors[0]
+
+    batch_delta = after.get("coalesce.batches", 0) - before.get("coalesce.batches", 0)
+    pair_delta = after.get("coalesce.pairs", 0) - before.get("coalesce.pairs", 0)
+    ordered = sorted(latencies)
+    return {
+        "concurrency": concurrency,
+        "requests": total_requests,
+        "duration_seconds": duration,
+        "throughput_rps": total_requests / duration if duration else 0.0,
+        "p50_ms": percentile(ordered, 50) * 1000.0,
+        "p99_ms": percentile(ordered, 99) * 1000.0,
+        "mean_ms": sum(latencies) / total_requests * 1000.0,
+        "coalesced_batches": batch_delta,
+        "coalesced_pairs": pair_delta,
+        "mean_batch_fill": pair_delta / batch_delta if batch_delta else 0.0,
+        "parity_mismatches": sum(mismatches),
+    }
+
+
+def run_http_benchmark(
+    scale: float,
+    levels: tuple[int, ...],
+    requests_per_level: int,
+    linger_ms: float,
+    coalesce_batch_size: int,
+    n_probe: int,
+) -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        model_dir = Path(tmp) / "model"
+        split = fit_and_save(scale, model_dir)
+        probe = list(split.test.pairs[: min(n_probe, len(split.test.pairs))])
+
+        # The uncoalesced reference every HTTP response must match bitwise.
+        direct = RiskService(load_pipeline(model_dir)).score_pairs(probe)
+        expected = [scored_pair_payload(scored) for scored in direct]
+        bodies = [
+            json.dumps({"pair": pair_to_payload(pair)}).encode("utf-8")
+            for pair in probe
+        ]
+
+        config = ServerConfig(
+            port=0,
+            coalesce_batch_size=coalesce_batch_size,
+            coalesce_linger_seconds=linger_ms / 1000.0,
+        )
+        server = build_server(model_dir, config=config)
+        with ServerHandle.spawn(server) as handle:
+            host, port = handle.address
+            # Warm the kernels and the vectorisation cache off the clock.
+            run_level(host, port, bodies, expected, 2, len(bodies))
+            measured = [
+                run_level(host, port, bodies, expected, concurrency, requests_per_level)
+                for concurrency in levels
+            ]
+
+    fills = {entry["concurrency"]: entry["mean_batch_fill"] for entry in measured}
+    low, high = min(fills), max(fills)
+    return {
+        "benchmark": "serving_http",
+        "dataset_scale": scale,
+        "n_probe_pairs": len(probe),
+        "linger_ms": linger_ms,
+        "coalesce_batch_size": coalesce_batch_size,
+        "requests_per_level": requests_per_level,
+        "levels": measured,
+        "parity_mismatches": sum(entry["parity_mismatches"] for entry in measured),
+        "coalescing_gain": fills[high] / fills[low] if fills[low] else 0.0,
+    }
+
+
+def format_results(report: dict) -> str:
+    lines = [
+        "HTTP serving — single-pair POST /score with micro-batch coalescing",
+        f"  probe pairs            : {report['n_probe_pairs']}",
+        f"  linger                 : {report['linger_ms']:.1f} ms, "
+        f"batch cap {report['coalesce_batch_size']}",
+        "  conc   p50 ms   p99 ms    req/s   mean batch fill",
+    ]
+    for entry in report["levels"]:
+        lines.append(
+            f"  {entry['concurrency']:>4} {entry['p50_ms']:>8.2f} "
+            f"{entry['p99_ms']:>8.2f} {entry['throughput_rps']:>8.1f} "
+            f"{entry['mean_batch_fill']:>17.2f}"
+        )
+    lines.append(f"  coalescing gain (fill) : {report['coalescing_gain']:.2f}x")
+    lines.append(
+        f"  parity mismatches      : {report['parity_mismatches']} "
+        f"(coalesced vs direct RiskService)"
+    )
+    return "\n".join(lines)
+
+
+def check_claims(report: dict) -> list[str]:
+    """The smoke-mode guards; returns human-readable failures (empty = ok)."""
+    failures = []
+    if report["parity_mismatches"]:
+        failures.append(
+            f"{report['parity_mismatches']} coalesced responses diverged from "
+            "the direct RiskService reference"
+        )
+    if len(report["levels"]) < 3:
+        failures.append("fewer than 3 concurrency levels measured")
+    fills = {entry["concurrency"]: entry["mean_batch_fill"] for entry in report["levels"]}
+    low, high = min(fills), max(fills)
+    if not fills[high] > max(fills[low], 1.2):
+        failures.append(
+            f"coalescing did not grow batches under load: fill {fills[high]:.2f} "
+            f"at concurrency {high} vs {fills[low]:.2f} at concurrency {low}"
+        )
+    return failures
+
+
+def test_serving_http(benchmark):
+    from conftest import bench_scale, write_result
+
+    report = benchmark.pedantic(
+        lambda: run_http_benchmark(
+            scale=min(bench_scale(), 0.3),
+            levels=(1, 4, 16),
+            requests_per_level=96,
+            linger_ms=25.0,
+            coalesce_batch_size=32,
+            n_probe=32,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("serving_http", format_results(report))
+    benchmark.extra_info.update({
+        "coalescing_gain": round(report["coalescing_gain"], 3),
+        "parity_mismatches": report["parity_mismatches"],
+    })
+    assert not check_claims(report)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.4,
+                        help="workload scale for the served model (default 0.4)")
+    parser.add_argument("--levels", type=int, nargs="+", default=[1, 8, 32],
+                        help="concurrency levels to load (default 1 8 32)")
+    parser.add_argument("--requests", type=int, default=240,
+                        help="requests per concurrency level (default 240)")
+    parser.add_argument("--linger-ms", type=float, default=10.0,
+                        help="coalescer max linger in milliseconds (default 10)")
+    parser.add_argument("--coalesce-batch-size", type=int, default=64,
+                        help="coalescer batch cap (default 64)")
+    parser.add_argument("--probe", type=int, default=48,
+                        help="distinct probe pairs cycled through (default 48)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"JSON report path (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI mode: small model, assert parity + coalescing")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        report = run_http_benchmark(
+            scale=0.12, levels=(1, 4, 16), requests_per_level=64,
+            linger_ms=25.0, coalesce_batch_size=32, n_probe=24,
+        )
+    else:
+        report = run_http_benchmark(
+            scale=args.scale, levels=tuple(args.levels),
+            requests_per_level=args.requests, linger_ms=args.linger_ms,
+            coalesce_batch_size=args.coalesce_batch_size, n_probe=args.probe,
+        )
+    report["mode"] = "smoke" if args.smoke else "full"
+    print(format_results(report))
+
+    rounded = json.loads(json.dumps(report))
+    for entry in rounded["levels"]:
+        for key, value in entry.items():
+            if isinstance(value, float):
+                entry[key] = round(value, 4)
+    rounded["coalescing_gain"] = round(rounded["coalescing_gain"], 4)
+    args.output.write_text(json.dumps(rounded, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    failures = check_claims(report)
+    if args.smoke and failures:
+        for failure in failures:
+            print(f"SMOKE FAILURE: {failure}")
+        return 1
+    if args.smoke:
+        print("smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,7 +43,7 @@ import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Mapping
 
 from .histogram import StreamingHistogram
 
@@ -142,6 +142,55 @@ class MetricsRegistry:
         """Current value of counter ``name`` (0 when never incremented)."""
         with self._lock:
             return self._counters.get(name, 0)
+
+    # ------------------------------------------------------------ transactions
+    def apply(
+        self,
+        counters: Mapping[str, float] | None = None,
+        observations: Mapping[str, float] | None = None,
+        gauges: Mapping[str, float] | None = None,
+        gauge_maxima: Mapping[str, float] | None = None,
+    ) -> None:
+        """Apply several metric updates as one atomic transaction.
+
+        A reader holding a consistent view (:meth:`values` / :meth:`snapshot`)
+        sees either none or all of the updates — never a torn subset.  This is
+        what keeps multi-metric invariants (``service.pairs_scored`` equals
+        the sum of the ``service.batch_size`` histogram, say) true in *every*
+        snapshot taken concurrently with writers, not just quiescent ones.
+
+        ``counters`` adds to counters, ``observations`` records one value per
+        named histogram, ``gauges`` overwrites, and ``gauge_maxima`` keeps the
+        maximum of the current and given value (a high-watermark update).
+        """
+        with self._lock:
+            if counters:
+                for name, amount in counters.items():
+                    self._counters[name] = self._counters.get(name, 0) + amount
+            if observations:
+                for name, value in observations.items():
+                    histogram = self._histograms.get(name)
+                    if histogram is None:
+                        histogram = self._histograms[name] = StreamingHistogram()
+                    histogram.observe(value)
+            if gauges:
+                for name, value in gauges.items():
+                    self._gauges[name] = float(value)
+            if gauge_maxima:
+                for name, value in gauge_maxima.items():
+                    if float(value) > self._gauges.get(name, 0.0):
+                        self._gauges[name] = float(value)
+
+    def values(self) -> tuple[dict[str, float], dict[str, float]]:
+        """One consistent ``(counters, gauges)`` copy under a single lock hold.
+
+        The lightweight companion of :meth:`snapshot` for readers that only
+        need scalar values: every counter/gauge in the returned dicts comes
+        from the same instant, so derived ratios computed from them can never
+        mix a pre-update numerator with a post-update denominator.
+        """
+        with self._lock:
+            return dict(self._counters), dict(self._gauges)
 
     # ------------------------------------------------------------------ gauges
     def gauge(self, name: str, value: float) -> None:
@@ -286,6 +335,18 @@ class NullRecorder:
 
     def count(self, name: str, amount: float = 1) -> None:
         return None
+
+    def apply(
+        self,
+        counters: Mapping[str, float] | None = None,
+        observations: Mapping[str, float] | None = None,
+        gauges: Mapping[str, float] | None = None,
+        gauge_maxima: Mapping[str, float] | None = None,
+    ) -> None:
+        return None
+
+    def values(self) -> tuple[dict[str, float], dict[str, float]]:
+        return {}, {}
 
     def gauge(self, name: str, value: float) -> None:
         return None

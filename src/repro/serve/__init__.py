@@ -8,9 +8,13 @@ single-process object into an operable model:
 * :mod:`repro.serve.service` — :class:`RiskService`, micro-batched scoring
   with an LRU vectorisation cache and serving statistics;
 * :mod:`repro.serve.registry` — :class:`ModelRegistry`, thread-safe named /
-  versioned pipelines with hot-swap;
-* :mod:`repro.serve.cli` — the ``python -m repro.serve`` fit/score/inspect
-  operations surface.
+  versioned pipelines with hot-swap and rollback;
+* :mod:`repro.serve.http` — the asyncio HTTP serving tier: micro-batch
+  request coalescing over :class:`RiskService`, ``/score`` / ``/explain`` /
+  ``/stats`` / model-control endpoints (imported on demand — see
+  :func:`repro.serve.http.build_server` and the ``http`` CLI subcommand);
+* :mod:`repro.serve.cli` — the ``python -m repro.serve`` fit/score/inspect/
+  http operations surface.
 
 Quick start::
 

@@ -45,6 +45,16 @@ The subcommands cover the model lifecycle:
     Pretty-print a metrics snapshot written by ``score --metrics-out`` (or by
     :meth:`repro.obs.MetricsRegistry.write_json` anywhere else): counters,
     span time totals and serving throughput at a glance.
+``http``
+    Serve a saved model over HTTP (:mod:`repro.serve.http`): an asyncio
+    server with micro-batch request coalescing — concurrent single-pair
+    ``POST /score`` requests share one kernel-warm batch (``--coalesce-batch-
+    size`` / ``--linger-ms`` bound the batch size and the added latency) —
+    plus ``POST /explain`` (decision-level payloads), ``GET /stats`` (the
+    :mod:`repro.obs` snapshot), ``GET /healthz``, ``GET /models`` and
+    ``POST /models/swap`` / ``/models/rollback`` driving the
+    :class:`~repro.serve.registry.ModelRegistry` hot-swap.  Runs until
+    interrupted; ``--metrics-out`` writes the final snapshot on shutdown.
 
 ``score --metrics-out metrics.json`` records the whole pass — pipeline spans
 (vectorize / classify / rule_kernel / aggregate), serving counters, batch
@@ -503,6 +513,56 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_http(args: argparse.Namespace) -> int:
+    """Serve a saved model over HTTP until interrupted."""
+    import asyncio
+
+    from .http import ServerConfig, build_server
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        coalesce_batch_size=args.coalesce_batch_size,
+        coalesce_linger_seconds=args.linger_ms / 1000.0,
+        service_batch_size=args.batch_size,
+        service_cache_size=args.cache_size,
+    )
+    server = build_server(args.model, model_name=args.model_name, config=config)
+
+    async def _serve() -> None:
+        await server.start()
+        print(
+            f"serving model {args.model_name!r} from {args.model} "
+            f"on http://{server.host}:{server.port}",
+            flush=True,
+        )
+        print(
+            f"  coalescing: batch<= {config.coalesce_batch_size}, "
+            f"linger {args.linger_ms:g}ms; "
+            "endpoints: GET /healthz /models /stats, "
+            "POST /score /explain /models/swap /models/rollback",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    # Pipeline spans (vectorize/classify/...) recorded while serving land in
+    # the same registry the HTTP counters use, so /stats shows both.
+    try:
+        with use_recorder(server.metrics):
+            asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    if args.metrics_out:
+        path = server.metrics.write_json(args.metrics_out)
+        print(f"wrote metrics snapshot to {path}")
+    return 0
+
+
 def _format_seconds(seconds: float) -> str:
     return f"{seconds * 1000.0:.1f}ms" if seconds < 1.0 else f"{seconds:.2f}s"
 
@@ -695,6 +755,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="max fired rules per pair (default: all)")
     explain.add_argument("--output", help="write the JSON document here instead of stdout")
     explain.set_defaults(handler=_cmd_explain)
+
+    http_cmd = subparsers.add_parser(
+        "http",
+        help="serve a saved model over HTTP (async, micro-batch request coalescing)",
+    )
+    http_cmd.add_argument("--model", required=True, help="saved model directory")
+    http_cmd.add_argument("--model-name", default="default",
+                          help="registry name the endpoints default to "
+                               "(default 'default')")
+    http_cmd.add_argument("--host", default="127.0.0.1",
+                          help="bind address (default 127.0.0.1)")
+    http_cmd.add_argument("--port", type=int, default=8080,
+                          help="bind port; 0 picks an ephemeral port (default 8080)")
+    http_cmd.add_argument("--batch-size", type=_positive_int, default=256,
+                          help="RiskService micro-batch size (default 256)")
+    http_cmd.add_argument("--cache-size", type=int, default=4096,
+                          help="vectorisation LRU cache entries (default 4096)")
+    http_cmd.add_argument("--coalesce-batch-size", type=_positive_int, default=64,
+                          help="max single-pair requests coalesced into one "
+                               "scoring batch (default 64)")
+    http_cmd.add_argument("--linger-ms", type=float, default=2.0,
+                          help="max milliseconds a single-pair request waits "
+                               "for batch-mates (default 2.0)")
+    http_cmd.add_argument("--metrics-out",
+                          help="write the final obs snapshot here on shutdown")
+    http_cmd.set_defaults(handler=_cmd_http)
 
     stats = subparsers.add_parser(
         "stats", help="pretty-print a metrics snapshot from score --metrics-out"

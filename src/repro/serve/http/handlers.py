@@ -1,0 +1,178 @@
+"""Endpoint handlers: the application logic behind each route.
+
+Handlers are thin adapters from validated JSON (see
+:mod:`repro.serve.http.schemas`) to the existing serving primitives — nothing
+here invents behaviour:
+
+* ``/score`` resolves pairs against the served model's schema, then either
+  awaits the shared :class:`~repro.serve.http.coalescer.MicroBatchCoalescer`
+  (single pair: joins a kernel-warm micro-batch with concurrent requests) or
+  scores the posted batch directly through
+  :meth:`~repro.serve.service.RiskService.score_pairs`;
+* ``/explain`` is :meth:`RiskService.explain_pairs` —
+  :meth:`~repro.risk.model.PairRiskExplanation.to_dict` payloads, risk scores
+  bit-identical to ``/score``;
+* ``/stats`` is the :mod:`repro.obs` snapshot (counters, gauges, histograms,
+  spans) next to the service's own consistent
+  :meth:`~repro.serve.service.ServiceStats.snapshot`;
+* ``/models/swap`` and ``/models/rollback`` drive the thread-safe
+  :class:`~repro.serve.registry.ModelRegistry` hot-swap — in-flight batches
+  keep their resolved service, the *next* batch sees the new version.
+
+Blocking work (scoring, explaining, loading a model directory from disk) runs
+in the event loop's executor so one slow request never stalls the accept
+loop.  Handlers return ``(status, payload)``; raising
+:class:`~repro.serve.http.protocol.HttpError` (or any
+:class:`~repro.exceptions.ReproError`, mapped to 400) produces a JSON error
+response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from functools import partial
+from typing import TYPE_CHECKING
+
+from ...obs import MetricsRegistry
+from ..registry import ModelRegistry
+from ..service import RiskService
+from .protocol import HttpError, HttpRequest
+from . import schemas
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .coalescer import MicroBatchCoalescer
+
+
+@dataclass
+class AppState:
+    """Everything handlers need: the registry, the coalescer, the metrics."""
+
+    registry: ModelRegistry
+    model_name: str
+    coalescer: "MicroBatchCoalescer"
+    metrics: MetricsRegistry
+    #: Knobs echoed by /healthz and /stats so operators can see the config.
+    coalesce_batch_size: int = 0
+    coalesce_linger_seconds: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    def service(self) -> RiskService:
+        """The active version's service (resolved per call — hot-swap aware)."""
+        return self.registry.service(self.model_name)
+
+    def schema(self):
+        return self.service().pipeline.vectorizer.schema
+
+
+async def _in_executor(function, /, *args, **kwargs):
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, partial(function, *args, **kwargs))
+
+
+# ------------------------------------------------------------------ liveness
+async def handle_healthz(state: AppState, request: HttpRequest) -> tuple[int, dict]:
+    return 200, schemas.envelope(
+        status="ok",
+        model=state.model_name,
+        active_version=state.registry.active_version(state.model_name),
+        coalescing={
+            "max_batch_size": state.coalesce_batch_size,
+            "max_linger_seconds": state.coalesce_linger_seconds,
+        },
+    )
+
+
+async def handle_models(state: AppState, request: HttpRequest) -> tuple[int, dict]:
+    return 200, schemas.envelope(
+        default_model=state.model_name,
+        models=state.registry.describe(),
+    )
+
+
+# ------------------------------------------------------------------- scoring
+async def handle_score(state: AppState, request: HttpRequest) -> tuple[int, dict]:
+    body = schemas.parse_json_body(request)
+    pairs, single = schemas.pairs_from_body(body, state.schema())
+    if single:
+        scored = await state.coalescer.submit(pairs[0])
+        return 200, schemas.envelope(
+            coalesced=True, result=schemas.scored_pair_payload(scored)
+        )
+    scored_pairs = await _in_executor(state.service().score_pairs, pairs)
+    return 200, schemas.envelope(
+        coalesced=False,
+        results=[schemas.scored_pair_payload(scored) for scored in scored_pairs],
+    )
+
+
+async def handle_explain(state: AppState, request: HttpRequest) -> tuple[int, dict]:
+    body = schemas.parse_json_body(request)
+    pairs, _ = schemas.pairs_from_body(body, state.schema())
+    top_rules = schemas.top_rules_from_body(body)
+    explanations = await _in_executor(
+        state.service().explain_pairs, pairs, top_rules=top_rules
+    )
+    results = []
+    for pair, explanation in zip(pairs, explanations):
+        left_id, right_id = pair.pair_id
+        results.append(
+            {"left_id": left_id, "right_id": right_id, **explanation.to_dict()}
+        )
+    return 200, schemas.envelope(results=results)
+
+
+# --------------------------------------------------------------------- stats
+async def handle_stats(state: AppState, request: HttpRequest) -> tuple[int, dict]:
+    service = state.service()
+    return 200, schemas.envelope(
+        model=state.model_name,
+        active_version=state.registry.active_version(state.model_name),
+        service=service.stats.snapshot(),
+        metrics=state.metrics.snapshot(),
+    )
+
+
+# ------------------------------------------------------------- model control
+async def handle_swap(state: AppState, request: HttpRequest) -> tuple[int, dict]:
+    body = schemas.parse_json_body(request)
+    model = body.get("model", state.model_name)
+    if not isinstance(model, str) or not model:
+        raise HttpError(400, "'model' must be a non-empty string")
+    directory = body.get("directory")
+    version = body.get("version")
+    if version is not None and (not isinstance(version, int) or isinstance(version, bool)):
+        raise HttpError(400, "'version' must be an integer")
+    if directory is not None:
+        if not isinstance(directory, str):
+            raise HttpError(400, "'directory' must be a string path")
+        # Loading reads manifest + npz from disk; keep it off the event loop.
+        registered = await _in_executor(
+            state.registry.load, model, directory, version=version
+        )
+    elif version is not None:
+        state.registry.activate(model, version)
+        registered = version
+    else:
+        raise HttpError(
+            400, "swap needs a 'directory' to load or a 'version' to activate"
+        )
+    return 200, schemas.envelope(
+        model=model,
+        registered_version=registered,
+        active_version=state.registry.active_version(model),
+        versions=state.registry.versions(model),
+    )
+
+
+async def handle_rollback(state: AppState, request: HttpRequest) -> tuple[int, dict]:
+    body = schemas.parse_json_body(request)
+    model = body.get("model", state.model_name)
+    if not isinstance(model, str) or not model:
+        raise HttpError(400, "'model' must be a non-empty string")
+    restored = state.registry.rollback(model)
+    return 200, schemas.envelope(
+        model=model,
+        active_version=restored,
+        versions=state.registry.versions(model),
+    )

@@ -1,0 +1,179 @@
+"""Minimal HTTP/1.1 request parsing and response rendering over asyncio streams.
+
+The serving tier deliberately speaks a small, strict subset of HTTP/1.1 with
+nothing but the standard library (the repo's no-dependencies policy): request
+line + headers + ``Content-Length``-framed bodies in, status line + headers +
+``Content-Length``-framed bodies out, with persistent connections
+(``keep-alive``) as the default.  Everything a risk-scoring client needs —
+and nothing else:
+
+* no chunked transfer encoding (rejected with ``501``), no trailers, no
+  upgrades, no multipart;
+* hard limits on the request line, header block and body size, so one
+  misbehaving client cannot balloon the server's memory;
+* header names are case-insensitive (stored lower-cased), bodies are raw
+  bytes — JSON decoding is the schema layer's job
+  (:mod:`repro.serve.http.schemas`).
+
+:class:`HttpError` is the one protocol/application error type: handlers and
+parsers raise it with a status code and the server renders it as a JSON error
+body.  Parse errors always close the connection (the stream position after a
+malformed request is undefined); application errors keep it open.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+#: Upper bound on the request line (method + path + version), in bytes.
+MAX_REQUEST_LINE_BYTES = 8192
+#: Upper bound on the whole header block, in bytes.
+MAX_HEADER_BYTES = 32768
+#: Upper bound on a request body, in bytes (generous for batch score payloads).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Reason phrases for every status the serving tier emits.
+STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """An error with an HTTP status; the server renders it as a JSON body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split path/query, headers and raw body."""
+
+    method: str
+    path: str
+    query: str
+    version: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection should survive this request/response cycle."""
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+
+async def _read_line(reader: asyncio.StreamReader, limit: int, what: str) -> bytes:
+    """One CRLF (or bare LF) terminated line, bounded by ``limit`` bytes."""
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return b""  # clean EOF between requests
+        raise HttpError(400, f"connection closed mid-{what}") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(400, f"{what} exceeds the stream buffer limit") from exc
+    if len(line) > limit:
+        raise HttpError(400, f"{what} longer than {limit} bytes")
+    return line.rstrip(b"\r\n")
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_body_bytes: int = MAX_BODY_BYTES,
+) -> HttpRequest | None:
+    """Parse one request from the stream; ``None`` on a clean end-of-stream.
+
+    Raises :class:`HttpError` on malformed input; the caller should respond
+    with the error's status and close the connection.
+    """
+    line = await _read_line(reader, MAX_REQUEST_LINE_BYTES, "request line")
+    if not line:
+        return None
+    parts = line.split(b" ")
+    if len(parts) != 3:
+        raise HttpError(400, "malformed request line")
+    try:
+        method = parts[0].decode("ascii")
+        target = parts[1].decode("ascii")
+        version = parts[2].decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise HttpError(400, "request line is not ASCII") from exc
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(400, f"unsupported protocol version {version!r}")
+    path, _, query = target.partition("?")
+
+    headers: dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        header_line = await _read_line(reader, MAX_HEADER_BYTES, "header line")
+        if not header_line:
+            break
+        header_bytes += len(header_line)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise HttpError(400, f"header block longer than {MAX_HEADER_BYTES} bytes")
+        name, separator, value = header_line.partition(b":")
+        if not separator:
+            raise HttpError(400, "malformed header line")
+        headers[name.decode("latin-1").strip().lower()] = value.decode("latin-1").strip()
+
+    if "transfer-encoding" in headers:
+        raise HttpError(501, "chunked transfer encoding is not supported")
+
+    body = b""
+    content_length = headers.get("content-length")
+    if content_length is not None:
+        try:
+            length = int(content_length)
+        except ValueError as exc:
+            raise HttpError(400, "content-length is not an integer") from exc
+        if length < 0:
+            raise HttpError(400, "content-length must be non-negative")
+        if length > max_body_bytes:
+            raise HttpError(413, f"request body larger than {max_body_bytes} bytes")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as exc:
+                raise HttpError(400, "connection closed mid-body") from exc
+    elif method in ("POST", "PUT", "PATCH"):
+        raise HttpError(411, "POST requests must carry a content-length header")
+
+    return HttpRequest(
+        method=method, path=path, query=query, version=version,
+        headers=headers, body=body,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialise one response (status line, headers, body) to wire bytes."""
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"HTTP/1.1 {status} {phrase}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {connection}\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + body

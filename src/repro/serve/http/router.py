@@ -1,0 +1,77 @@
+"""The endpoint table: fixed (method, path) routes to async handlers.
+
+The serving tier's URL space is small and static, so routing is an exact
+dictionary lookup — no patterns, no parameters.  Each route carries a short
+``name`` that keys the per-endpoint observability series
+(``http.requests.<name>`` counters, ``http.request_seconds.<name>``
+histograms), so the route table is also the catalogue of metric names an
+operator will see.
+
+``resolve`` distinguishes an unknown path (``404``) from a known path hit
+with the wrong method (``405``), which is what well-behaved HTTP clients
+expect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable
+
+from .protocol import HttpError, HttpRequest
+
+#: A handler takes the shared app state and the request, returns
+#: ``(status, payload dict)``.
+Handler = Callable[[Any, HttpRequest], Awaitable[tuple[int, dict]]]
+
+
+@dataclass(frozen=True)
+class Route:
+    method: str
+    path: str
+    name: str
+    handler: Handler
+
+
+class Router:
+    """Exact-match (method, path) routing with 404/405 discrimination."""
+
+    def __init__(self) -> None:
+        self._routes: dict[tuple[str, str], Route] = {}
+        self._paths: set[str] = set()
+
+    def add(self, method: str, path: str, name: str, handler: Handler) -> None:
+        key = (method.upper(), path)
+        if key in self._routes:
+            raise ValueError(f"duplicate route {method} {path}")
+        self._routes[key] = Route(method.upper(), path, name, handler)
+        self._paths.add(path)
+
+    def resolve(self, method: str, path: str) -> Route:
+        route = self._routes.get((method.upper(), path))
+        if route is not None:
+            return route
+        if path in self._paths:
+            allowed = sorted(m for (m, p) in self._routes if p == path)
+            raise HttpError(
+                405, f"method {method} not allowed on {path} (allowed: {allowed})"
+            )
+        raise HttpError(404, f"no such endpoint: {path}")
+
+    def routes(self) -> list[Route]:
+        """Every registered route (the endpoint table, for /models and docs)."""
+        return sorted(self._routes.values(), key=lambda r: (r.path, r.method))
+
+
+def default_router() -> Router:
+    """The serving tier's standard endpoint table."""
+    from . import handlers
+
+    router = Router()
+    router.add("GET", "/healthz", "healthz", handlers.handle_healthz)
+    router.add("GET", "/models", "models", handlers.handle_models)
+    router.add("GET", "/stats", "stats", handlers.handle_stats)
+    router.add("POST", "/score", "score", handlers.handle_score)
+    router.add("POST", "/explain", "explain", handlers.handle_explain)
+    router.add("POST", "/models/swap", "swap", handlers.handle_swap)
+    router.add("POST", "/models/rollback", "rollback", handlers.handle_rollback)
+    return router

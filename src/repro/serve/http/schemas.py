@@ -1,0 +1,181 @@
+"""JSON request/response schemas of the HTTP serving tier.
+
+Every payload the server accepts or emits is defined here, in one place, so
+the wire format is reviewable (and golden-testable) independently of the
+transport.  All responses carry ``"schema_version"``
+(:data:`SCHEMA_VERSION`), bumped on any layout change, and are serialised
+with :func:`dumps` — sorted keys, compact separators — so a given payload has
+exactly one byte representation (what the golden fixtures pin).
+
+Request side: a record pair arrives as::
+
+    {"left":  {"id": "l1", "values": {"title": "...", "year": 1994},
+               "source": "dblp"},
+     "right": {"id": "r1", "values": {...}}}
+
+``values`` must use the served model's schema attributes; unknown attributes,
+non-scalar values or missing ids are rejected with ``400`` before any scoring
+happens.  ``POST /score`` accepts either ``{"pair": {...}}`` (coalesced into
+shared micro-batches) or ``{"pairs": [...]}`` (scored as its own batch);
+``POST /explain`` accepts the same two shapes.
+
+Response side: scored pairs serialise to their ids plus the three scoring
+outputs; explanations reuse the exact
+:meth:`~repro.risk.model.PairRiskExplanation.to_dict` payload introduced with
+the explain telemetry, so the HTTP body and the ``serve explain`` CLI stay
+one format.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from ...data.records import Record, RecordPair
+from ...data.schema import Schema
+from ..service import ScoredPair
+from .protocol import HttpError, HttpRequest
+
+#: Version stamped into every response body; bump on any payload change.
+SCHEMA_VERSION = 1
+
+#: Hard cap on pairs per request body (memory guard, not a scoring limit).
+MAX_PAIRS_PER_REQUEST = 10_000
+
+#: JSON value types accepted as attribute values.
+_SCALAR_TYPES = (str, int, float, bool)
+
+
+def dumps(payload: Mapping[str, Any]) -> bytes:
+    """The one serialiser for response bodies: sorted keys, compact, UTF-8.
+
+    Sorted keys + fixed separators mean a payload dict has exactly one byte
+    encoding — the property the golden HTTP fixtures assert.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def parse_json_body(request: HttpRequest) -> dict[str, Any]:
+    """The request body as a JSON object (``{}`` for an empty body)."""
+    if not request.body:
+        return {}
+    try:
+        body = json.loads(request.body)
+    except json.JSONDecodeError as exc:
+        raise HttpError(400, f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(body, dict):
+        raise HttpError(400, "request body must be a JSON object")
+    return body
+
+
+# ------------------------------------------------------------------- requests
+def record_from_payload(
+    payload: Any, schema: Schema, side: str, default_source: str
+) -> Record:
+    """Validate and build one :class:`Record` from its JSON form."""
+    if not isinstance(payload, dict):
+        raise HttpError(400, f"{side} record must be a JSON object")
+    record_id = payload.get("id")
+    if not isinstance(record_id, str) or not record_id:
+        raise HttpError(400, f"{side} record needs a non-empty string 'id'")
+    values = payload.get("values")
+    if not isinstance(values, dict):
+        raise HttpError(400, f"{side} record needs a 'values' object")
+    unknown = set(values) - set(schema.names)
+    if unknown:
+        raise HttpError(
+            400,
+            f"{side} record has attributes {sorted(unknown)} not in the model "
+            f"schema {list(schema.names)}",
+        )
+    for name, value in values.items():
+        if value is not None and not isinstance(value, _SCALAR_TYPES):
+            raise HttpError(
+                400,
+                f"{side} record attribute {name!r} must be a scalar or null, "
+                f"got {type(value).__name__}",
+            )
+    source = payload.get("source", default_source)
+    if not isinstance(source, str):
+        raise HttpError(400, f"{side} record 'source' must be a string")
+    return Record(record_id=record_id, values=dict(values), source=source)
+
+
+def pair_from_payload(payload: Any, schema: Schema) -> RecordPair:
+    """Validate and build one :class:`RecordPair` from its JSON form."""
+    if not isinstance(payload, dict):
+        raise HttpError(400, "each pair must be a JSON object")
+    if "left" not in payload or "right" not in payload:
+        raise HttpError(400, "each pair needs 'left' and 'right' records")
+    return RecordPair(
+        left=record_from_payload(payload["left"], schema, "left", "left"),
+        right=record_from_payload(payload["right"], schema, "right", "right"),
+    )
+
+
+def pairs_from_body(
+    body: Mapping[str, Any], schema: Schema
+) -> tuple[list[RecordPair], bool]:
+    """The pairs of a score/explain body, plus whether it was the single form.
+
+    ``{"pair": {...}}`` -> one pair, single=True (the coalescing path);
+    ``{"pairs": [...]}`` -> the listed pairs, single=False (one owned batch).
+    """
+    if "pair" in body and "pairs" in body:
+        raise HttpError(400, "provide either 'pair' or 'pairs', not both")
+    if "pair" in body:
+        return [pair_from_payload(body["pair"], schema)], True
+    if "pairs" in body:
+        listed = body["pairs"]
+        if not isinstance(listed, list) or not listed:
+            raise HttpError(400, "'pairs' must be a non-empty JSON array")
+        if len(listed) > MAX_PAIRS_PER_REQUEST:
+            raise HttpError(
+                413, f"at most {MAX_PAIRS_PER_REQUEST} pairs per request"
+            )
+        return [pair_from_payload(item, schema) for item in listed], False
+    raise HttpError(400, "request body needs a 'pair' object or a 'pairs' array")
+
+
+def top_rules_from_body(body: Mapping[str, Any]) -> int | None:
+    """The optional ``top_rules`` truncation knob of an explain body."""
+    top_rules = body.get("top_rules")
+    if top_rules is None:
+        return None
+    if not isinstance(top_rules, int) or isinstance(top_rules, bool) or top_rules < 1:
+        raise HttpError(400, "'top_rules' must be a positive integer")
+    return top_rules
+
+
+# ------------------------------------------------------------------ responses
+def pair_to_payload(pair: RecordPair) -> dict[str, Any]:
+    """A pair's JSON request form (the client-side serialiser, round-trip safe)."""
+    return {
+        "left": {
+            "id": pair.left.record_id,
+            "source": pair.left.source,
+            "values": dict(pair.left.values),
+        },
+        "right": {
+            "id": pair.right.record_id,
+            "source": pair.right.source,
+            "values": dict(pair.right.values),
+        },
+    }
+
+
+def scored_pair_payload(scored: ScoredPair) -> dict[str, Any]:
+    """One scored pair's response entry (ids + the three scoring outputs)."""
+    left_id, right_id = scored.pair.pair_id
+    return {
+        "left_id": left_id,
+        "right_id": right_id,
+        "probability": scored.probability,
+        "machine_label": scored.machine_label,
+        "risk_score": scored.risk_score,
+    }
+
+
+def envelope(**payload: Any) -> dict[str, Any]:
+    """A response body with the schema version stamped in."""
+    return {"schema_version": SCHEMA_VERSION, **payload}

@@ -44,6 +44,9 @@ class ModelRegistry:
         self._lock = threading.RLock()
         self._models: dict[str, dict[int, StagedPipeline]] = {}
         self._active: dict[str, int] = {}
+        #: Per name, the version that was active before the last swap — what
+        #: :meth:`rollback` restores.  Two consecutive rollbacks toggle.
+        self._previous: dict[str, int] = {}
         self._services: dict[tuple[str, int], RiskService] = {}
 
     # --------------------------------------------------------------- mutation
@@ -76,7 +79,7 @@ class ModelRegistry:
                 )
             versions[version] = pipeline
             if activate or name not in self._active:
-                self._active[name] = version
+                self._swap_active(name, version)
             return version
 
     def load(
@@ -89,12 +92,38 @@ class ModelRegistry:
         """Load a saved pipeline from ``directory`` and register it."""
         return self.register(name, load_pipeline(directory), version=version, activate=activate)
 
+    def _swap_active(self, name: str, version: int) -> None:
+        """Point ``name`` at ``version``, remembering the outgoing active version."""
+        current = self._active.get(name)
+        if current is not None and current != version:
+            self._previous[name] = current
+        self._active[name] = int(version)
+
     def activate(self, name: str, version: int) -> None:
-        """Make ``version`` the one served for ``name`` (manual hot-swap / rollback)."""
+        """Make ``version`` the one served for ``name`` (manual hot-swap)."""
         with self._lock:
             if version not in self._models.get(name, {}):
                 raise ConfigurationError(f"model {name!r} has no version {version}")
-            self._active[name] = int(version)
+            self._swap_active(name, int(version))
+
+    def rollback(self, name: str) -> int:
+        """Restore the version that was active before the last swap of ``name``.
+
+        Returns the version now serving.  The rolled-back-from version stays
+        registered (and becomes the new "previous", so a second rollback
+        swaps forward again).  Raises
+        :class:`~repro.exceptions.ConfigurationError` when ``name`` was never
+        swapped or its previous version has been unregistered since.
+        """
+        with self._lock:
+            versions = self._require_name(name)
+            previous = self._previous.get(name)
+            if previous is None or previous not in versions:
+                raise ConfigurationError(
+                    f"model {name!r} has no previous version to roll back to"
+                )
+            self._swap_active(name, previous)
+            return previous
 
     def unregister(self, name: str, version: int | None = None) -> None:
         """Remove one version of ``name`` (or all of them when ``version`` is None)."""
@@ -109,11 +138,20 @@ class ModelRegistry:
             for item in removed:
                 del versions[item]
                 self._services.pop((name, item), None)
+            if self._previous.get(name) in removed:
+                self._previous.pop(name, None)
             if not versions:
                 self._models.pop(name, None)
                 self._active.pop(name, None)
+                self._previous.pop(name, None)
             elif self._active.get(name) in removed:
+                # The outgoing active version no longer exists, so it must not
+                # become the rollback target — assign directly.
                 self._active[name] = max(versions)
+                if self._previous.get(name) == self._active[name]:
+                    # Rolling back to the version already serving is a no-op;
+                    # drop the degenerate history instead of offering it.
+                    self._previous.pop(name, None)
 
     # ----------------------------------------------------------------- lookup
     def _require_name(self, name: str) -> dict[int, StagedPipeline]:
@@ -163,6 +201,13 @@ class ModelRegistry:
             self._require_name(name)
             return self._active[name]
 
+    def previous_version(self, name: str) -> int | None:
+        """The version :meth:`rollback` would restore (``None`` when there is none)."""
+        with self._lock:
+            versions = self._require_name(name)
+            previous = self._previous.get(name)
+            return previous if previous in versions else None
+
     def describe(self) -> dict[str, dict[str, object]]:
         """Snapshot of every model's versions and active version."""
         with self._lock:
@@ -170,6 +215,10 @@ class ModelRegistry:
                 name: {
                     "versions": sorted(versions),
                     "active": self._active.get(name),
+                    "previous": (
+                        self._previous[name]
+                        if self._previous.get(name) in versions else None
+                    ),
                 }
                 for name, versions in self._models.items()
             }

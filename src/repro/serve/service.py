@@ -120,18 +120,27 @@ class ServiceStats:
         self.registry = registry if registry is not None else MetricsRegistry()
 
     def record_batch(self, batch_size: int, seconds: float) -> None:
-        registry = self.registry
-        registry.count("service.pairs_scored", batch_size)
-        registry.count("service.batches")
-        registry.count("service.scoring_seconds", seconds)
-        registry.observe("service.batch_seconds", seconds)
-        registry.observe("service.batch_size", batch_size)
-        if batch_size > registry.gauge_value("service.largest_batch"):
-            registry.gauge("service.largest_batch", batch_size)
+        # One atomic transaction: a concurrent snapshot() sees either none or
+        # all of a batch's updates, so cross-counter invariants (pairs_scored
+        # == sum of batch sizes, batches == batch_size histogram count) hold
+        # in every snapshot, not just quiescent ones.
+        self.registry.apply(
+            counters={
+                "service.pairs_scored": batch_size,
+                "service.batches": 1,
+                "service.scoring_seconds": seconds,
+            },
+            observations={
+                "service.batch_seconds": seconds,
+                "service.batch_size": batch_size,
+            },
+            gauge_maxima={"service.largest_batch": batch_size},
+        )
 
     def record_cache(self, hits: int, misses: int) -> None:
-        self.registry.count("service.cache_hits", hits)
-        self.registry.count("service.cache_misses", misses)
+        self.registry.apply(
+            counters={"service.cache_hits": hits, "service.cache_misses": misses}
+        )
 
     def record_bypass(self, pairs: int) -> None:
         """Count pairs scored without consulting the cache (parallel passes)."""
@@ -198,19 +207,41 @@ class ServiceStats:
         return self.pairs_scored / self.batches if self.batches else 0.0
 
     def snapshot(self) -> dict[str, float]:
-        """A point-in-time copy of the counters plus derived rates."""
+        """A point-in-time copy of the counters plus derived rates.
+
+        All values come from *one* consistent registry read
+        (:meth:`~repro.obs.MetricsRegistry.values`), so a snapshot taken while
+        other threads are recording batches is internally consistent: derived
+        rates (mean batch size, hit rate, throughput) are computed from
+        counters captured at the same instant, never from a numerator read
+        before and a denominator read after a concurrent
+        :meth:`record_batch`.
+        """
+        counters, gauges = self.registry.values()
+
+        def counter(name: str) -> float:
+            return float(counters.get(f"service.{name}", 0))
+
+        pairs_scored = counter("pairs_scored")
+        batches = counter("batches")
+        cache_hits = counter("cache_hits")
+        cache_misses = counter("cache_misses")
+        scoring_seconds = counter("scoring_seconds")
+        lookups = cache_hits + cache_misses
         return {
-            "pairs_scored": float(self.pairs_scored),
-            "batches": float(self.batches),
-            "largest_batch": float(self.largest_batch),
-            "mean_batch_size": self.mean_batch_size,
-            "cache_hits": float(self.cache_hits),
-            "cache_misses": float(self.cache_misses),
-            "cache_bypassed": float(self.cache_bypassed),
-            "cache_hit_rate": self.cache_hit_rate,
-            "corpus_index_entries": float(self.corpus_index_entries),
-            "scoring_seconds": self.scoring_seconds,
-            "pairs_per_second": self.pairs_per_second,
+            "pairs_scored": pairs_scored,
+            "batches": batches,
+            "largest_batch": float(gauges.get("service.largest_batch", 0.0)),
+            "mean_batch_size": pairs_scored / batches if batches else 0.0,
+            "cache_hits": cache_hits,
+            "cache_misses": cache_misses,
+            "cache_bypassed": counter("cache_bypassed"),
+            "cache_hit_rate": cache_hits / lookups if lookups else 0.0,
+            "corpus_index_entries": float(gauges.get("service.corpus_index_entries", 0.0)),
+            "scoring_seconds": scoring_seconds,
+            "pairs_per_second": (
+                pairs_scored / scoring_seconds if scoring_seconds > 0.0 else 0.0
+            ),
         }
 
 

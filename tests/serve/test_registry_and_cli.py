@@ -137,8 +137,8 @@ class TestModelRegistry:
         registry.register("a", second)
         registry.register("b", first)
         assert registry.describe() == {
-            "a": {"versions": [1, 2], "active": 2},
-            "b": {"versions": [1], "active": 1},
+            "a": {"versions": [1, 2], "active": 2, "previous": 1},
+            "b": {"versions": [1], "active": 1, "previous": None},
         }
 
     def test_concurrent_register_and_lookup(self, two_pipelines):
