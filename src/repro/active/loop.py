@@ -98,8 +98,11 @@ class ActiveLearningLoop:
         )
         pool_workload, test_workload = split.train, split.test
 
+        # Fit the vectorizer on the pool split only: TF-IDF document
+        # frequencies computed over the full workload would leak the held-out
+        # test pairs into every evaluated F1 point.
         vectorizer = PairVectorizer(workload.left_table.schema)
-        vectorizer.fit_workload(workload)
+        vectorizer.fit_workload(pool_workload)
         pool_features = vectorizer.transform(pool_workload.pairs)
         pool_labels = pool_workload.labels()
         test_features = vectorizer.transform(test_workload.pairs)
@@ -109,10 +112,7 @@ class ActiveLearningLoop:
         labeled_mask = np.zeros(len(pool_features), dtype=bool)
         initial = min(self.initial_labeled, len(pool_features))
         # Seed with a stratified sample so both classes are present from the start.
-        for label in (0, 1):
-            class_indices = np.nonzero(pool_labels == label)[0]
-            take = max(1, int(round(initial * len(class_indices) / len(pool_labels))))
-            take = min(take, len(class_indices))
+        for label, class_indices, take in self._stratified_takes(pool_labels, initial):
             labeled_mask[rng.choice(class_indices, size=take, replace=False)] = True
 
         result = ActiveLearningResult(strategy=self.strategy.name)
@@ -139,6 +139,35 @@ class ActiveLearningLoop:
             )
             labeled_mask[unlabeled_indices[selected]] = True
         return result
+
+    @staticmethod
+    def _stratified_takes(
+        pool_labels: np.ndarray, initial: int
+    ) -> list[tuple[int, np.ndarray, int]]:
+        """Per-class seed sizes: proportional, at least one, never more than
+        ``initial`` in total.
+
+        The proportional ``max(1, round(...))`` per class can overshoot the
+        budget (e.g. two classes both rounding up), so any excess is trimmed
+        from the largest class first while keeping one seed per present class.
+        """
+        takes: list[tuple[int, np.ndarray, int]] = []
+        for label in (0, 1):
+            class_indices = np.nonzero(pool_labels == label)[0]
+            if not len(class_indices):
+                continue
+            take = max(1, int(round(initial * len(class_indices) / len(pool_labels))))
+            takes.append((label, class_indices, min(take, len(class_indices))))
+        excess = sum(take for _, _, take in takes) - initial
+        while excess > 0:
+            position = max(range(len(takes)), key=lambda i: takes[i][2])
+            label, class_indices, take = takes[position]
+            if take <= 1:
+                break  # every present class keeps at least one seed
+            trimmed = min(excess, take - 1)
+            takes[position] = (label, class_indices, take - trimmed)
+            excess -= trimmed
+        return takes
 
     def _build_context(
         self,

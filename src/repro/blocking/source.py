@@ -23,7 +23,7 @@ from typing import Iterator, Sequence
 
 from ..data.records import MATCH, RecordPair, Table, UNMATCH
 from ..data.sources import DEFAULT_CHUNK_SIZE, PairSource, chunked
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, DataError
 from ..obs import get_recorder
 from .blockers import Blocker, IndexBlocker
 from .corpus import CorpusStream, CorpusWave
@@ -46,6 +46,13 @@ class BlockingPairSource(PairSource):
         When the corpus is labeled, append any ground-truth matches the
         blockers missed at the end of each wave, so fitting on the blocked
         stream never loses positives.  Ignored for unlabeled corpora.
+    on_unresolvable_match:
+        What to do when a ground-truth match references a record id absent
+        from the wave's tables (e.g. a CSV matches file out of sync with the
+        record exports).  ``"error"`` (default) raises a
+        :class:`~repro.exceptions.DataError` naming the offending pair;
+        ``"skip"`` drops the pair and counts it on the
+        ``blocking.matches_unresolvable`` obs counter.
     name:
         Source name (defaults to ``blocked:<corpus name>``).
     """
@@ -55,6 +62,7 @@ class BlockingPairSource(PairSource):
         corpus: CorpusStream,
         blockers: Sequence[Blocker],
         ensure_matches: bool = True,
+        on_unresolvable_match: str = "error",
         name: str | None = None,
     ) -> None:
         blockers = list(blockers)
@@ -70,9 +78,15 @@ class BlockingPairSource(PairSource):
                 "combining multiple blockers requires them all to be index-backed; "
                 "non-index blockers (e.g. sorted_window) can only be used alone"
             )
+        if on_unresolvable_match not in ("error", "skip"):
+            raise ConfigurationError(
+                "on_unresolvable_match must be 'error' or 'skip', "
+                f"got {on_unresolvable_match!r}"
+            )
         self.corpus = corpus
         self.blockers = blockers
         self.ensure_matches = ensure_matches
+        self.on_unresolvable_match = on_unresolvable_match
         self.name = name or f"blocked:{corpus.name}"
         self._cached_wave: CorpusWave | None = None
 
@@ -114,8 +128,22 @@ class BlockingPairSource(PairSource):
 
         if missed:
             recorder = get_recorder()
-            recorder.count("blocking.matches_recovered", len(missed))
             for left_id, right_id in sorted(missed):
+                # A matches file out of sync with the record exports can
+                # reference ids absent from the wave's tables; surface the
+                # offending pair (or count and skip it) instead of letting a
+                # bare lookup abort deep inside a consumer's fit loop.
+                if left_id not in left_table or right_id not in right_table:
+                    if self.on_unresolvable_match == "error":
+                        raise DataError(
+                            f"ground-truth match ({left_id!r}, {right_id!r}) in corpus "
+                            f"{self.corpus.name!r} references a record id absent from "
+                            "the wave's tables; fix the matches data or pass "
+                            "on_unresolvable_match='skip'"
+                        )
+                    recorder.count("blocking.matches_unresolvable")
+                    continue
+                recorder.count("blocking.matches_recovered")
                 yield RecordPair(
                     left_table[left_id], right_table[right_id], ground_truth=MATCH
                 )

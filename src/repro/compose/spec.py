@@ -140,7 +140,7 @@ def component_spec_for_classifier(classifier: BaseClassifier) -> ComponentSpec:
 _TRAINING_FIELDS = {config_field.name for config_field in dataclasses.fields(TrainingConfig)}
 _SPEC_FIELDS = (
     "classifier", "vectorizer", "risk_features", "source", "execution",
-    "risk_metric", "training", "decision_threshold", "seed",
+    "online", "risk_metric", "training", "decision_threshold", "seed",
 )
 
 
@@ -168,6 +168,13 @@ class PipelineSpec:
         worker count, pool backend, chunk size.  Purely a throughput knob:
         scores are bit-identical at any worker count, so the field never
         changes *what* a pipeline computes, only how fast.
+    online:
+        Optional online-resolution policy spec resolved through
+        :data:`repro.online.POLICIES` (``"threshold"`` by default; see
+        :class:`~repro.online.ResolutionPolicy` for the parameters).  When
+        set, ``spec.online_policy()`` builds the policy that drives an
+        :class:`~repro.online.OnlineResolver` (the serve CLI's ``resolve``
+        command and the HTTP tier's ``POST /resolve`` path).
     risk_metric:
         Name of a registered risk metric (``"var"``, ``"cvar"``,
         ``"expectation"``, or anything added via ``register_risk_metric``).
@@ -188,6 +195,7 @@ class PipelineSpec:
     risk_features: ComponentSpec = field(default_factory=lambda: ComponentSpec("onesided_tree"))
     source: ComponentSpec | None = None
     execution: ExecutionConfig | None = None
+    online: ComponentSpec | None = None
     risk_metric: str = "var"
     training: dict[str, Any] = field(default_factory=dict)
     decision_threshold: float = 0.5
@@ -199,6 +207,8 @@ class PipelineSpec:
         self.risk_features = ComponentSpec.coerce(self.risk_features, "risk_features")
         if self.source is not None:
             self.source = ComponentSpec.coerce(self.source, "source")
+        if self.online is not None:
+            self.online = ComponentSpec.coerce(self.online, "online")
         self.execution = ExecutionConfig.coerce(self.execution)
         if not isinstance(self.training, Mapping):
             raise ConfigurationError(
@@ -235,7 +245,23 @@ class PipelineSpec:
             RISK_FEATURE_GENERATORS.get(self.risk_features.kind)
             if self.source is not None:
                 PAIR_SOURCES.get(self.source.kind)
+            if self.online is not None:
+                self.online_policy()
         return self
+
+    def online_policy(self):
+        """Materialise the ``online`` component as a resolution policy.
+
+        Resolved lazily through :data:`repro.online.POLICIES` so specs that
+        never go online pay no import cost.  Raises
+        :class:`~repro.exceptions.ConfigurationError` when no ``online``
+        component is configured.
+        """
+        if self.online is None:
+            raise ConfigurationError("pipeline spec has no 'online' component")
+        from ..online import create_policy
+
+        return create_policy(self.online.kind, self.online.params)
 
     def training_config(self) -> TrainingConfig:
         """Materialise the training configuration (spec seed as the default seed)."""
@@ -263,6 +289,8 @@ class PipelineSpec:
             values["source"] = self.source.to_dict()
         if self.execution is not None:
             values["execution"] = self.execution.to_dict()
+        if self.online is not None:
+            values["online"] = self.online.to_dict()
         return values
 
     @classmethod

@@ -1,0 +1,60 @@
+"""``repro.online`` — incremental resolution with an audited merge log.
+
+The batch stack answers "how risky is this frozen pair set?"; this package
+answers the operational question: records arrive continuously, so *decide* as
+they arrive and make every decision inspectable and reversible.
+
+* :mod:`repro.online.cluster` — :class:`ClusterStore`, a deterministic
+  union-find entity state with cannot-link constraints;
+* :mod:`repro.online.events` — :class:`ResolutionEvent` /
+  :class:`EventLog`, the append-only JSONL audit log, and
+  :func:`replay_events`, which rebuilds cluster state bit-identically
+  (honouring reverts);
+* :mod:`repro.online.resolver` — :class:`OnlineResolver`, wiring a live
+  blocking index and the kernel-warm :class:`~repro.serve.service.RiskService`
+  to threshold-driven merge/split/escalate decisions
+  (:class:`ResolutionPolicy`, registered in :data:`POLICIES`).
+
+Entry points: ``python -m repro.serve resolve`` streams a corpus through a
+resolver from the command line; the HTTP tier exposes ``POST /resolve``,
+``GET /clusters/{id}`` and ``GET /events`` when built with an online policy;
+a :class:`~repro.compose.spec.PipelineSpec` carries the policy as its
+``online`` component.
+"""
+
+from .cluster import ClusterStore, record_key
+from .events import (
+    DECISIONS,
+    EVENT_SCHEMA_VERSION,
+    EventLog,
+    ResolutionEvent,
+    STATE_DECISIONS,
+    replay_events,
+)
+from .resolver import (
+    OnlineResolver,
+    POLICIES,
+    ResolutionPolicy,
+    ResolutionSummary,
+    create_policy,
+    register_policy,
+    registered_policies,
+)
+
+__all__ = [
+    "ClusterStore",
+    "DECISIONS",
+    "EVENT_SCHEMA_VERSION",
+    "EventLog",
+    "OnlineResolver",
+    "POLICIES",
+    "ResolutionEvent",
+    "ResolutionPolicy",
+    "ResolutionSummary",
+    "STATE_DECISIONS",
+    "create_policy",
+    "record_key",
+    "register_policy",
+    "registered_policies",
+    "replay_events",
+]

@@ -41,6 +41,14 @@ The subcommands cover the model lifecycle:
     Load a saved pipeline and emit decision-level explanations (fired rules
     with portfolio weight shares, the equivalence-probability interval, the
     risk score) for the riskiest pairs of a workload, as JSON.
+``resolve``
+    Stream a record corpus through the online resolver
+    (:mod:`repro.online`): each record is blocked against a live inverted
+    index, its candidate pairs risk-scored through :class:`RiskService`, and
+    every decision (merge / split / escalate by the ``--merge-threshold`` /
+    ``--split-threshold`` policy) appended to an audit log — ``--events``
+    mirrors it to a JSONL file that a later run (or ``http --events``)
+    resumes from.
 ``stats``
     Pretty-print a metrics snapshot written by ``score --metrics-out`` (or by
     :meth:`repro.obs.MetricsRegistry.write_json` anywhere else): counters,
@@ -513,6 +521,60 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_policy_from_args(args: argparse.Namespace, attributes_flag: str):
+    """A :class:`~repro.online.ResolutionPolicy` from the shared flag group."""
+    from ..online import ResolutionPolicy
+
+    raw = getattr(args, attributes_flag)
+    attributes = tuple(part.strip() for part in raw.split(",") if part.strip())
+    if not attributes:
+        raise SystemExit(f"--{attributes_flag.replace('_', '-')} must name at least one attribute")
+    return ResolutionPolicy(
+        attributes=attributes,
+        merge_threshold=args.merge_threshold,
+        split_threshold=args.split_threshold,
+        min_shared=args.min_shared,
+        max_postings=args.max_postings,
+        explain=not getattr(args, "no_explain", False),
+    )
+
+
+def _cmd_resolve(args: argparse.Namespace) -> int:
+    """Stream a record corpus through the online resolver, decision by decision."""
+    from ..online import EventLog, OnlineResolver
+
+    pipeline = load_pipeline(args.model)
+    corpus = _build_block_corpus(args)
+    policy = _resolve_policy_from_args(args, "attributes")
+    metrics = _metrics_registry(args)
+    recording = use_recorder(metrics) if metrics is not None else nullcontext()
+    service = RiskService(
+        pipeline, max_batch_size=args.batch_size, cache_size=args.cache_size,
+        metrics=metrics,
+    )
+    log = EventLog(args.events) if args.events else EventLog()
+    resolver = OnlineResolver(service, policy, event_log=log)
+    with recording, service:
+        summary = resolver.resolve_corpus(corpus, max_waves=args.max_waves)
+    state = resolver.state_dict()
+    print(
+        f"resolved {summary.records} records from {corpus.name} "
+        f"({summary.pairs_scored} candidate pairs scored)"
+    )
+    print(
+        f"  merges: {summary.merges}  splits: {summary.splits}  "
+        f"escalations: {summary.escalations}"
+    )
+    print(
+        f"  clusters (multi-record): {len(state['clusters'])}  "
+        f"cannot-links: {len(state['cannot_links'])}"
+    )
+    if args.events:
+        print(f"  event log: {len(resolver.log)} events -> {args.events}")
+    _write_metrics(args, metrics)
+    return 0
+
+
 def _cmd_http(args: argparse.Namespace) -> int:
     """Serve a saved model over HTTP until interrupted."""
     import asyncio
@@ -527,7 +589,13 @@ def _cmd_http(args: argparse.Namespace) -> int:
         service_batch_size=args.batch_size,
         service_cache_size=args.cache_size,
     )
-    server = build_server(args.model, model_name=args.model_name, config=config)
+    online_policy = None
+    if args.resolve_attributes:
+        online_policy = _resolve_policy_from_args(args, "resolve_attributes")
+    server = build_server(
+        args.model, model_name=args.model_name, config=config,
+        online_policy=online_policy, events_path=args.events,
+    )
 
     async def _serve() -> None:
         await server.start()
@@ -536,11 +604,18 @@ def _cmd_http(args: argparse.Namespace) -> int:
             f"on http://{server.host}:{server.port}",
             flush=True,
         )
+        endpoints = (
+            "endpoints: GET /healthz /models /stats, "
+            "POST /score /explain /models/swap /models/rollback"
+        )
+        if online_policy is not None:
+            endpoints += (
+                "; online: POST /resolve /events/revert, "
+                "GET /clusters/{id} /events"
+            )
         print(
             f"  coalescing: batch<= {config.coalesce_batch_size}, "
-            f"linger {args.linger_ms:g}ms; "
-            "endpoints: GET /healthz /models /stats, "
-            "POST /score /explain /models/swap /models/rollback",
+            f"linger {args.linger_ms:g}ms; " + endpoints,
             flush=True,
         )
         try:
@@ -738,6 +813,56 @@ def build_parser() -> argparse.ArgumentParser:
                             "never changes the scores")
     score.set_defaults(handler=_cmd_score)
 
+    def add_policy_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--merge-threshold", type=float, default=0.2,
+                         help="auto-merge a machine match when its risk score is "
+                              "at or below this (default 0.2)")
+        sub.add_argument("--split-threshold", type=float, default=0.2,
+                         help="auto-split a machine unmatch when its risk score is "
+                              "at or below this (default 0.2)")
+        sub.add_argument("--min-shared", type=_positive_int, default=1,
+                         help="min shared tokens for the live blocking index "
+                              "(default 1)")
+        sub.add_argument("--max-postings", type=_positive_int, default=None,
+                         help="prune live-index tokens past this many postings "
+                              "(bounds probing on open-ended streams)")
+        sub.add_argument("--events",
+                         help="mirror the decision log to this JSONL file "
+                              "(an existing log resumes its cluster state)")
+
+    resolve = subparsers.add_parser(
+        "resolve",
+        help="stream a record corpus through the online resolver "
+             "(incremental blocking, risk-thresholded merge/split/escalate, "
+             "audited event log)",
+    )
+    add_workload_arguments(resolve, with_schema=True)
+    resolve.add_argument("--domain",
+                         help="generate the corpus from this synthetic domain "
+                              "(bibliographic, product, software, song) instead of "
+                              "--dataset/--data-dir")
+    resolve.add_argument("--entities", type=_positive_int, default=400,
+                         help="base entities per generated wave (default 400)")
+    resolve.add_argument("--waves", type=_positive_int, default=1,
+                         help="number of generated waves (default 1)")
+    resolve.add_argument("--model", required=True, help="saved model directory")
+    resolve.add_argument("--attributes", required=True,
+                         help="comma-separated attributes the live blocking index "
+                              "tokenises")
+    add_policy_arguments(resolve)
+    resolve.add_argument("--no-explain", action="store_true",
+                         help="skip fired-rule explanations on events (faster)")
+    resolve.add_argument("--max-waves", type=_positive_int, default=None,
+                         help="stop after this many corpus waves")
+    resolve.add_argument("--batch-size", type=_positive_int, default=256)
+    resolve.add_argument("--cache-size", type=int, default=4096)
+    resolve.add_argument("--seed", type=int, default=0,
+                         help="seed for generated corpora")
+    resolve.add_argument("--metrics-out",
+                         help="write a JSON metrics snapshot (online counters, "
+                              "decision latency) to this file")
+    resolve.set_defaults(handler=_cmd_resolve)
+
     inspect = subparsers.add_parser("inspect", help="describe a saved model")
     inspect.add_argument("--model", required=True, help="saved model directory")
     inspect.add_argument("--rules", type=int, default=5,
@@ -778,6 +903,12 @@ def build_parser() -> argparse.ArgumentParser:
     http_cmd.add_argument("--linger-ms", type=float, default=2.0,
                           help="max milliseconds a single-pair request waits "
                                "for batch-mates (default 2.0)")
+    http_cmd.add_argument("--resolve-attributes",
+                          help="enable the online-resolution endpoints "
+                               "(POST /resolve, GET /clusters/{id}, GET /events, "
+                               "POST /events/revert) with a live blocking index "
+                               "over these comma-separated attributes")
+    add_policy_arguments(http_cmd)
     http_cmd.add_argument("--metrics-out",
                           help="write the final obs snapshot here on shutdown")
     http_cmd.set_defaults(handler=_cmd_http)

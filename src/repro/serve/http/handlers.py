@@ -17,7 +17,11 @@ here invents behaviour:
   :meth:`~repro.serve.service.ServiceStats.snapshot`;
 * ``/models/swap`` and ``/models/rollback`` drive the thread-safe
   :class:`~repro.serve.registry.ModelRegistry` hot-swap — in-flight batches
-  keep their resolved service, the *next* batch sees the new version.
+  keep their resolved service, the *next* batch sees the new version;
+* ``/resolve``, ``/clusters/{id}``, ``/events`` and ``/events/revert``
+  expose the :class:`~repro.online.OnlineResolver` when the server was
+  built with an online policy (``503`` otherwise): post records, read the
+  clusters they merged into, tail the audit log, revert a decision.
 
 Blocking work (scoring, explaining, loading a model directory from disk) runs
 in the event loop's executor so one slow request never stalls the accept
@@ -33,7 +37,9 @@ import asyncio
 from dataclasses import dataclass, field
 from functools import partial
 from typing import TYPE_CHECKING
+from urllib.parse import parse_qs
 
+from ...exceptions import DataError
 from ...obs import MetricsRegistry
 from ..registry import ModelRegistry
 from ..service import RiskService
@@ -41,6 +47,7 @@ from .protocol import HttpError, HttpRequest
 from . import schemas
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...online import OnlineResolver
     from .coalescer import MicroBatchCoalescer
 
 
@@ -55,6 +62,9 @@ class AppState:
     #: Knobs echoed by /healthz and /stats so operators can see the config.
     coalesce_batch_size: int = 0
     coalesce_linger_seconds: float = 0.0
+    #: The online resolver behind /resolve, /clusters and /events; ``None``
+    #: until the server is built with an online policy (the endpoints 503).
+    resolver: "OnlineResolver | None" = None
     extra: dict = field(default_factory=dict)
 
     def service(self) -> RiskService:
@@ -120,6 +130,78 @@ async def handle_explain(state: AppState, request: HttpRequest) -> tuple[int, di
             {"left_id": left_id, "right_id": right_id, **explanation.to_dict()}
         )
     return 200, schemas.envelope(results=results)
+
+
+# ---------------------------------------------------------- online resolution
+def _resolver(state: AppState) -> "OnlineResolver":
+    if state.resolver is None:
+        raise HttpError(
+            503,
+            "online resolution is not enabled on this server; "
+            "start it with an online policy (serve http --resolve-attributes ...)",
+        )
+    return state.resolver
+
+
+async def handle_resolve(state: AppState, request: HttpRequest) -> tuple[int, dict]:
+    """Feed one or more records through the online resolver, in order."""
+    resolver = _resolver(state)
+    body = schemas.parse_json_body(request)
+    records = schemas.records_from_body(body, state.schema())
+    events = []
+    for record in records:
+        # One record at a time keeps the decision order identical to the
+        # order the client posted (the audit log's determinism contract).
+        events.extend(await _in_executor(resolver.add_record, record))
+    return 200, schemas.envelope(
+        records=len(records),
+        events=[event.to_dict() for event in events],
+    )
+
+
+async def handle_cluster(state: AppState, request: HttpRequest) -> tuple[int, dict]:
+    """The cluster containing one record key (``source:record_id``)."""
+    resolver = _resolver(state)
+    key = request.path_params["id"]
+    try:
+        members = resolver.cluster_of(key)
+    except DataError as exc:
+        raise HttpError(404, str(exc)) from exc
+    return 200, schemas.envelope(id=key, cluster=members)
+
+
+async def handle_events(state: AppState, request: HttpRequest) -> tuple[int, dict]:
+    """The audit log, optionally only events after ``?since=<sequence>``."""
+    resolver = _resolver(state)
+    query = parse_qs(request.query)
+    since = 0
+    if "since" in query:
+        try:
+            since = int(query["since"][-1])
+        except ValueError as exc:
+            raise HttpError(400, "'since' must be an integer") from exc
+        if since < 0:
+            raise HttpError(400, "'since' must be >= 0")
+    events = resolver.events(since=since)
+    return 200, schemas.envelope(
+        since=since,
+        count=len(events),
+        events=[event.to_dict() for event in events],
+    )
+
+
+async def handle_revert(state: AppState, request: HttpRequest) -> tuple[int, dict]:
+    """Revert one merge/split decision by event id (replays the log)."""
+    resolver = _resolver(state)
+    body = schemas.parse_json_body(request)
+    event_id = body.get("event_id")
+    if not isinstance(event_id, str) or not event_id:
+        raise HttpError(400, "'event_id' must be a non-empty string")
+    event = await _in_executor(resolver.revert, event_id)
+    return 200, schemas.envelope(
+        event=event.to_dict(),
+        clusters=resolver.state_dict(),
+    )
 
 
 # --------------------------------------------------------------------- stats

@@ -67,6 +67,8 @@ class HttpRequest:
     version: str
     headers: dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    #: Captures from ``{param}`` route segments, filled in by the dispatcher.
+    path_params: dict[str, str] = field(default_factory=dict)
 
     @property
     def keep_alive(self) -> bool:

@@ -137,6 +137,33 @@ def pairs_from_body(
     raise HttpError(400, "request body needs a 'pair' object or a 'pairs' array")
 
 
+def records_from_body(body: Mapping[str, Any], schema: Schema) -> list[Record]:
+    """The records of a resolve body.
+
+    ``{"record": {...}}`` -> one record; ``{"records": [...]}`` -> the listed
+    records, resolved in order.  Records default to source ``"stream"`` when
+    the payload carries none (the online key is ``source:id``, so clients
+    resolving multi-source streams should set it explicitly).
+    """
+    if "record" in body and "records" in body:
+        raise HttpError(400, "provide either 'record' or 'records', not both")
+    if "record" in body:
+        return [record_from_payload(body["record"], schema, "record", "stream")]
+    if "records" in body:
+        listed = body["records"]
+        if not isinstance(listed, list) or not listed:
+            raise HttpError(400, "'records' must be a non-empty JSON array")
+        if len(listed) > MAX_PAIRS_PER_REQUEST:
+            raise HttpError(
+                413, f"at most {MAX_PAIRS_PER_REQUEST} records per request"
+            )
+        return [
+            record_from_payload(item, schema, f"records[{index}]", "stream")
+            for index, item in enumerate(listed)
+        ]
+    raise HttpError(400, "request body needs a 'record' object or a 'records' array")
+
+
 def top_rules_from_body(body: Mapping[str, Any]) -> int | None:
     """The optional ``top_rules`` truncation knob of an explain body."""
     top_rules = body.get("top_rules")

@@ -82,6 +82,9 @@ class RiskHTTPServer:
         Network + coalescing knobs (:class:`ServerConfig`).
     metrics:
         The process metrics registry; defaults to a fresh one.
+    resolver:
+        Optional :class:`~repro.online.OnlineResolver` behind the
+        ``/resolve`` endpoint family; without one those endpoints 503.
     clock:
         Injectable monotonic clock for request timing (tests).
     """
@@ -94,6 +97,7 @@ class RiskHTTPServer:
         config: ServerConfig | None = None,
         metrics: MetricsRegistry | None = None,
         router: Router | None = None,
+        resolver=None,
         clock=time.perf_counter,
     ) -> None:
         self.config = config if config is not None else ServerConfig()
@@ -116,6 +120,7 @@ class RiskHTTPServer:
             metrics=self.metrics,
             coalesce_batch_size=self.config.coalesce_batch_size,
             coalesce_linger_seconds=self.config.coalesce_linger_seconds,
+            resolver=resolver,
         )
         self._server: asyncio.AbstractServer | None = None
         self.host = self.config.host
@@ -205,7 +210,8 @@ class RiskHTTPServer:
         started = self._clock()
         route_name = "unrouted"
         try:
-            route = self.router.resolve(request.method, request.path)
+            route, path_params = self.router.match(request.method, request.path)
+            request.path_params = path_params
             route_name = route.name
             status, payload = await route.handler(self.state, request)
         except HttpError as exc:
@@ -236,12 +242,22 @@ def build_server(
     model_name: str = "default",
     config: ServerConfig | None = None,
     metrics: MetricsRegistry | None = None,
+    online_policy=None,
+    events_path=None,
 ) -> RiskHTTPServer:
     """Load ``model_dir`` into a fresh registry and wrap it in a server.
 
     The registry's services are built with the config's batch/cache options
     and record into the server's metrics registry, so serving counters,
     coalescing telemetry and request latencies all land in one snapshot.
+
+    With an ``online_policy`` (a :class:`~repro.online.ResolutionPolicy`),
+    the server also carries an :class:`~repro.online.OnlineResolver` behind
+    the ``/resolve`` endpoints, journalling to ``events_path`` when given (a
+    resolver built on an existing log resumes its cluster state).  The
+    resolver is pinned to the model version active at build time — it keeps
+    scoring with that version across hot-swaps, so one audit log is always
+    the work of exactly one model.
     """
     config = config if config is not None else ServerConfig()
     metrics = metrics if metrics is not None else MetricsRegistry()
@@ -251,7 +267,19 @@ def build_server(
         metrics=metrics,
     )
     registry.load(model_name, model_dir)
-    return RiskHTTPServer(registry, model_name, config=config, metrics=metrics)
+    resolver = None
+    if online_policy is not None:
+        from ...online import EventLog, OnlineResolver
+
+        resolver = OnlineResolver(
+            registry.service(model_name),
+            online_policy,
+            event_log=EventLog(events_path),
+            recorder=metrics,
+        )
+    return RiskHTTPServer(
+        registry, model_name, config=config, metrics=metrics, resolver=resolver
+    )
 
 
 @dataclass

@@ -101,6 +101,69 @@ class TestActiveLearningLoop:
         with pytest.raises(ConfigurationError):
             ActiveLearningLoop(strategy=EntropyStrategy(), initial_labeled=1)
 
+    def test_vectorizer_fit_excludes_test_split(self, small_workload, monkeypatch):
+        """Leakage regression: TF-IDF document frequencies must come from the
+        pool split only, never from the held-out test pairs."""
+        from repro.features.vectorizer import PairVectorizer
+
+        fitted_workloads = []
+        original = PairVectorizer.fit_workload
+
+        def spy(self, workload, *args, **kwargs):
+            fitted_workloads.append(workload)
+            return original(self, workload, *args, **kwargs)
+
+        monkeypatch.setattr(PairVectorizer, "fit_workload", spy)
+        loop = ActiveLearningLoop(
+            strategy=EntropyStrategy(),
+            classifier_factory=lambda seed: LogisticRegressionClassifier(epochs=20, seed=seed),
+            initial_labeled=40, batch_size=20, rounds=1, seed=1,
+        )
+        loop.run(small_workload, test_fraction=0.4)
+        assert fitted_workloads, "the loop must fit its vectorizer"
+        fitted = fitted_workloads[0]
+        assert len(fitted) < len(small_workload)
+        # The fitted pairs are exactly the pool split: no test pair among them.
+        from repro.data.workload import split_workload
+
+        split = split_workload(small_workload, ratio=(0.6, 0.0, 0.4), seed=1)
+        pool_ids = {pair.pair_id for pair in split.train.pairs}
+        test_ids = {pair.pair_id for pair in split.test.pairs}
+        fitted_ids = {pair.pair_id for pair in fitted.pairs}
+        assert fitted_ids == pool_ids
+        assert not fitted_ids & test_ids
+
+    def test_stratified_seed_never_exceeds_budget(self):
+        """Seed-cap regression: per-class ``max(1, round(...))`` rounding must
+        not overshoot ``initial_labeled``."""
+        # Two classes that both round up: initial=3 over a 50/50 pool gives
+        # per-class takes of 2 before trimming.
+        labels = np.array([0] * 5 + [1] * 5)
+        takes = ActiveLearningLoop._stratified_takes(labels, 3)
+        assert sum(take for _, _, take in takes) == 3
+        assert all(take >= 1 for _, _, take in takes)
+
+        # Heavy imbalance still seeds the minority class.
+        labels = np.array([0] * 99 + [1])
+        takes = ActiveLearningLoop._stratified_takes(labels, 10)
+        by_label = {label: take for label, _, take in takes}
+        assert by_label[1] == 1
+        assert sum(by_label.values()) <= 10
+
+        # A one-class pool degenerates gracefully.
+        labels = np.zeros(8, dtype=int)
+        takes = ActiveLearningLoop._stratified_takes(labels, 4)
+        assert [(label, take) for label, _, take in takes] == [(0, 4)]
+
+    def test_initial_labeled_cap_holds_in_run(self, small_workload):
+        loop = ActiveLearningLoop(
+            strategy=EntropyStrategy(),
+            classifier_factory=lambda seed: LogisticRegressionClassifier(epochs=20, seed=seed),
+            initial_labeled=41, batch_size=20, rounds=1, seed=1,
+        )
+        result = loop.run(small_workload)
+        assert result.labeled_sizes[0] <= 41
+
     def test_comparison_runs_all_strategies(self, small_workload):
         results = run_active_learning_comparison(
             small_workload,

@@ -20,7 +20,8 @@ from repro.data.io import export_workload
 from repro.data.records import MATCH
 from repro.data.sources import GeneratorSource
 from repro.data.workload import Workload
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, DataError
+from repro.obs import MetricsRegistry, use_recorder
 
 
 @pytest.fixture(scope="module")
@@ -145,6 +146,50 @@ class TestBlockingPairSource:
     def test_requires_a_blocker(self, labeled_corpus):
         with pytest.raises(ConfigurationError):
             BlockingPairSource(labeled_corpus, [])
+
+    @pytest.fixture()
+    def corrupt_corpus(self, small_workload):
+        # A matches file out of sync with the record exports: one pair
+        # references a right-table id that does not exist.
+        matches = [p.pair_id for p in small_workload.pairs if p.ground_truth == MATCH]
+        phantom = (matches[0][0], "no-such-record")
+        return TableCorpus(
+            small_workload.left_table,
+            small_workload.right_table,
+            matches + [phantom],
+            name="corrupt",
+        ), phantom
+
+    def test_unresolvable_match_raises_by_default(self, corrupt_corpus):
+        corpus, _ = corrupt_corpus
+        source = BlockingPairSource(corpus, [InvertedIndexBlocker(["title"])])
+        with pytest.raises(DataError, match="no-such-record"):
+            list(source)
+        # The message names the offending pair and the way out.
+        with pytest.raises(DataError, match="on_unresolvable_match='skip'"):
+            list(source)
+
+    def test_unresolvable_match_skip_mode_counts_and_continues(self, corrupt_corpus):
+        corpus, phantom = corrupt_corpus
+        source = BlockingPairSource(
+            corpus, [InvertedIndexBlocker(["title"])], on_unresolvable_match="skip"
+        )
+        metrics = MetricsRegistry()
+        with use_recorder(metrics):
+            streamed = {pair.pair_id for pair in source}
+        assert phantom not in streamed
+        # Every genuine match still reaches the stream (recall stays 1.0).
+        genuine = set(corpus.matches) - {phantom}
+        assert genuine <= streamed
+        assert metrics.counter_value("blocking.matches_unresolvable") == 1
+
+    def test_unresolvable_match_mode_validated(self, labeled_corpus):
+        with pytest.raises(ConfigurationError, match="on_unresolvable_match"):
+            BlockingPairSource(
+                labeled_corpus,
+                [InvertedIndexBlocker(["title"])],
+                on_unresolvable_match="ignore",
+            )
 
     def test_unbounded_corpus_cannot_materialize(self):
         corpus = GeneratedCorpus(

@@ -1,0 +1,96 @@
+"""Golden regression test of the online resolution event-log wire format.
+
+``expected_online_events.jsonl`` pins the **exact JSONL bytes** the online
+resolver journals for a fixed scripted run: the committed golden workload's
+records streamed through a model fitted from the committed spec, followed by
+one revert of the first state-changing decision.  Byte-stable because events
+serialise with sorted keys + compact separators, carry no timestamps, and the
+whole fit→score→decide chain is deterministic; any drift in the event layout,
+the decision policy or a single scored bit fails the comparison.
+
+Regenerating (only when an event-format change is intentional)::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/golden -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.data.io import import_workload
+from repro.data.schema import Schema
+from repro.online import EventLog, OnlineResolver, ResolutionPolicy, replay_events
+from repro.serve import RiskService, load_pipeline
+from repro.serve.cli import main as serve_cli
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+DATA_DIR = GOLDEN_DIR / "data"
+EVENTS_FILE = GOLDEN_DIR / "expected_online_events.jsonl"
+WORKLOAD_NAME = "golden"
+
+#: The scripted policy: thresholds wide open so merges/splits (not just
+#: escalations) appear in the fixture, explanations capped at two rules.
+POLICY = ResolutionPolicy(
+    attributes=("title", "authors"),
+    merge_threshold=1.0,
+    split_threshold=1.0,
+    top_rules=2,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted_model_dir(tmp_path_factory) -> Path:
+    model_dir = tmp_path_factory.mktemp("golden-online-model") / "model"
+    exit_code = serve_cli([
+        "fit",
+        "--data-dir", str(DATA_DIR),
+        "--name", WORKLOAD_NAME,
+        "--schema", str(DATA_DIR / "schema.json"),
+        "--spec", str(DATA_DIR / "spec.json"),
+        "--output", str(model_dir),
+    ])
+    assert exit_code == 0
+    return model_dir
+
+
+def test_online_event_log_bytes_match_golden(fitted_model_dir, tmp_path):
+    schema = Schema.from_dict(json.loads((DATA_DIR / "schema.json").read_text()))
+    workload = import_workload(DATA_DIR, WORKLOAD_NAME, schema)
+
+    path = tmp_path / "events.jsonl"
+    resolver = OnlineResolver(
+        RiskService(load_pipeline(fitted_model_dir)), POLICY,
+        event_log=EventLog(path),
+    )
+    for record in list(workload.left_table)[:8]:
+        resolver.add_record(record)
+    for record in list(workload.right_table)[:8]:
+        resolver.add_record(record)
+    state_events = [
+        event for event in resolver.events()
+        if event.decision in ("merge", "split")
+    ]
+    assert state_events, "the scripted stream must produce a revertable decision"
+    resolver.revert(state_events[0].event_id)
+
+    body = path.read_bytes()
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        EVENTS_FILE.write_bytes(body)
+        pytest.skip("golden fixture regenerated")
+    expected = EVENTS_FILE.read_bytes()
+    assert body == expected, (
+        "online event-log bytes drifted from "
+        "tests/golden/expected_online_events.jsonl — if the event-format or "
+        "numeric change is intentional, regenerate with REPRO_UPDATE_GOLDEN=1"
+    )
+
+    # Sanity on the fixture itself: it replays to the live resolver's state.
+    replayed = replay_events(EventLog(path).events())
+    assert replayed.to_dict() == resolver.state_dict()
+    first = json.loads(body.splitlines()[0])
+    assert first["schema_version"] == 1
+    assert first["event_id"] == "evt-000001"
